@@ -1,0 +1,141 @@
+// Command almanac runs the Project Almanac evaluation: every figure and
+// table of the paper, reproduced on the simulated TimeSSD.
+//
+// Usage:
+//
+//	almanac [-scale quick|standard] [-seed N] [-list] [experiment ...]
+//
+// With no experiment arguments it runs everything. Experiment names are
+// fig6 fig7 fig8 fig9a fig9b fig10 fig11 table3 ablation-compress
+// ablation-group ablation-th.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/harness"
+	"almanac/internal/trace"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or standard")
+	seed := flag.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	replay := flag.String("replay", "", "replay a CSV trace (at_ns,op,lpa,pages) on both device types and compare")
+	flag.Parse()
+
+	if *list {
+		for _, n := range harness.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var cfg harness.Config
+	switch *scale {
+	case "quick":
+		cfg = harness.Quick()
+	case "standard":
+		cfg = harness.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "almanac: unknown scale %q (quick|standard)\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	if *replay != "" {
+		if err := runReplay(cfg, *replay); err != nil {
+			fmt.Fprintf(os.Stderr, "almanac: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = harness.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tab, err := harness.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "almanac: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runReplay drives an externally-supplied trace (e.g. a converted MSR or
+// FIU original) against both device types and compares them — the escape
+// hatch from the synthetic stand-in workloads.
+func runReplay(cfg harness.Config, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	reqs, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("%s holds no requests", path)
+	}
+	fmt.Printf("replaying %d requests spanning %.2f days on both device types\n\n",
+		len(reqs), reqs[len(reqs)-1].At.Sub(reqs[0].At).Hours()/24)
+
+	type result struct {
+		name string
+		st   *trace.RunStats
+		wa   float64
+		ret  float64
+	}
+	var results []result
+	for _, kind := range []string{"regular", "timessd"} {
+		var dev ftl.Device
+		var wa func() float64
+		ret := -1.0
+		if kind == "regular" {
+			d, err := ftl.NewRegular(ftl.WithFlash(cfg.Flash))
+			if err != nil {
+				return err
+			}
+			dev, wa = d, d.WriteAmplification
+		} else {
+			c := core.DefaultConfig(ftl.WithFlash(cfg.Flash))
+			c.MinRetention = cfg.MinRetention
+			d, err := core.New(c)
+			if err != nil {
+				return err
+			}
+			dev, wa = d, d.WriteAmplification
+		}
+		gen := trace.NewContentGen(dev.PageSize(), trace.ContentSimilar, cfg.Seed)
+		st, err := trace.Replay(dev, reqs, trace.ReplayOptions{Content: gen, AnnounceIdle: true, KeepLatencies: true})
+		if err != nil {
+			return fmt.Errorf("%s: %w", kind, err)
+		}
+		if t, ok := dev.(*core.TimeSSD); ok {
+			ret = t.RetentionDuration(st.End).Hours() / 24
+		}
+		results = append(results, result{kind, st, wa(), ret})
+	}
+	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %-9s  %s\n",
+		"device", "avg-resp", "p99-resp", "write-amp", "errors", "retention(days)")
+	for _, r := range results {
+		retention := "-"
+		if r.ret >= 0 {
+			retention = fmt.Sprintf("%.1f", r.ret)
+		}
+		fmt.Printf("%-8s  %-12v  %-12v  %-10.2f  %-9d  %s\n",
+			r.name, r.st.AvgResponse(), r.st.Percentile(0.99), r.wa, r.st.Errors, retention)
+	}
+	return nil
+}

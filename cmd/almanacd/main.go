@@ -1,0 +1,125 @@
+// Command almanacd serves a simulated TimeSSD over TCP using the Project
+// Almanac command protocol (the NVMe-wrapped TimeKits interface of §4).
+// Any number of clients can connect; they share the one device, like
+// processes sharing a block device.
+//
+//	almanacd -listen 127.0.0.1:9521 -channels 8 -blocks 64 -pagesize 4096
+//
+// Clients use internal/almaproto.Dial; see examples/remote-timekits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"almanac/internal/almaproto"
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9521", "TCP address to listen on")
+	channels := flag.Int("channels", 4, "flash channels")
+	chips := flag.Int("chips", 2, "chips per channel")
+	blocks := flag.Int("blocks", 64, "blocks per plane")
+	pages := flag.Int("pages", 32, "pages per block")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	minRetention := flag.Duration("minretention", 0, "guaranteed retention lower bound (virtual)")
+	image := flag.String("image", "", "device image file: loaded on start (via firmware rebuild) and saved on SIGINT/SIGTERM")
+	flag.Parse()
+
+	fc := flash.DefaultConfig()
+	fc.Channels = *channels
+	fc.ChipsPerChannel = *chips
+	fc.BlocksPerPlane = *blocks
+	fc.PagesPerBlock = *pages
+	fc.PageSize = *pageSize
+
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = vclock.Duration(*minRetention)
+
+	dev, err := openDevice(cfg, *image)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("almanacd: serving a %d MiB TimeSSD (%d channels, %d logical pages) on %s\n",
+		dev.Config().FTL.Flash.TotalBytes()>>20, dev.Config().FTL.Flash.Channels,
+		dev.LogicalPages(), ln.Addr())
+	srv := almaproto.NewServer(dev)
+
+	if *image != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			srv.Close() // Serve drains in-flight connections and returns
+		}()
+	}
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Print(err)
+	}
+	if *image != "" {
+		if err := saveDevice(dev, *image); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("almanacd: device image saved to %s\n", *image)
+	}
+}
+
+// openDevice loads the image (bringing the device up through the firmware
+// rebuild path, as after power loss) or creates a fresh device. The image's
+// geometry wins over the flags.
+func openDevice(cfg core.Config, image string) (*core.TimeSSD, error) {
+	if image == "" {
+		return core.New(cfg)
+	}
+	f, err := os.Open(image)
+	if errors.Is(err, os.ErrNotExist) {
+		fmt.Printf("almanacd: %s does not exist; starting with a fresh device\n", image)
+		return core.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	arr, err := flash.ReadImage(f)
+	if err != nil {
+		return nil, err
+	}
+	// The image's geometry is authoritative: re-derive every size-dependent
+	// parameter from it (watermarks, Bloom sizing, cohorts), keeping only
+	// the operator's policy knobs.
+	rebuilt := core.DefaultConfig(ftl.WithFlash(arr.Config()))
+	rebuilt.MinRetention = cfg.MinRetention
+	fmt.Printf("almanacd: rebuilding device state from %s\n", image)
+	return core.Rebuild(arr, rebuilt)
+}
+
+func saveDevice(dev *core.TimeSSD, image string) error {
+	tmp := image + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := dev.Arr.WriteImage(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, image)
+}

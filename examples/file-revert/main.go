@@ -1,0 +1,92 @@
+// File revert: the paper's "git-revert without git" case study (§5.5.2,
+// Fig. 11). A stream of commits patches kernel source files; afterwards
+// each file is reverted to its state one minute earlier with 1, 2 and 4
+// host threads, showing recovery accelerate with the SSD's internal
+// channel parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/fsim"
+	"almanac/internal/ftl"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+var files = []string{"mmap.c", "mprotect.c", "slab.c", "swap.c", "aio.c"}
+
+func build() (*fsim.FS, *timekits.Kit, vclock.Time) {
+	dev, err := core.New(core.DefaultConfig(ftl.WithFlash(flash.DefaultConfig())))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, at, err := fsim.Mkfs(dev, fsim.DefaultOptions(fsim.ModeInPlace), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fs, timekits.New(dev), at
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	for _, threads := range []int{1, 2, 4} {
+		fs, kit, at := build()
+		ps := fs.Device().PageSize()
+
+		// Seed the "source tree".
+		for _, name := range files {
+			var err error
+			if at, err = fs.Create(name, at); err != nil {
+				log.Fatal(err)
+			}
+			if at, err = fs.Write(name, 0, src(rng, 8*ps), at); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Replay 60 commits, ~100 per virtual minute like the paper.
+		for i := 0; i < 60; i++ {
+			name := files[rng.Intn(len(files))]
+			size, _ := fs.Size(name)
+			off := rng.Int63n(size - 128)
+			var err error
+			if at, err = fs.Write(name, off, src(rng, 128+rng.Intn(ps)), at); err != nil {
+				log.Fatal(err)
+			}
+			at = at.Add(600 * vclock.Millisecond)
+		}
+
+		// Revert every file to one minute before "now".
+		target := at.Add(-vclock.Minute)
+		var total vclock.Duration
+		for _, name := range files {
+			lpas, err := fs.FileLPAs(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := kit.RollBackParallel(lpas, threads, target, at)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.Elapsed
+			at = res.Done
+		}
+		fmt.Printf("%d thread(s): reverted %d files in %v total device time\n",
+			threads, len(files), total)
+	}
+	fmt.Println("more threads keep more flash channels busy, so recovery accelerates —")
+	fmt.Println("the effect Figure 11 of the paper measures.")
+}
+
+func src(rng *rand.Rand, n int) []byte {
+	tokens := []string{"static int ", "return -EINVAL;\n", "struct page *p;\n", "if (err)\n\t", "spin_lock(&l);\n"}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		out = append(out, tokens[rng.Intn(len(tokens))]...)
+	}
+	return out[:n]
+}

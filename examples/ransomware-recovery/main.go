@@ -1,0 +1,78 @@
+// Ransomware recovery: the paper's §5.5.1 case study as a runnable demo.
+// A Locky-class ransomware model encrypts a directory of documents on a
+// file system mounted over a TimeSSD; TimeKits then finds every page the
+// malware touched, rolls the device back to the pre-attack instant, and
+// the file system remounts with every document intact — even though the
+// malware deleted the originals and held no decryption key.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/fsim"
+	"almanac/internal/ftl"
+	"almanac/internal/ransom"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+func main() {
+	fc := flash.DefaultConfig()
+	fc.Channels = 4
+	fc.ChipsPerChannel = 2
+	fc.BlocksPerPlane = 64
+	fc.PagesPerBlock = 32
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	dev, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, at, err := fsim.Mkfs(dev, fsim.DefaultOptions(fsim.ModeInPlace), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kit := timekits.New(dev)
+
+	fam, err := ransom.FamilyByName("Locky")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fam.Files = 20 // keep the demo brisk
+
+	victims, at, err := ransom.PlantFiles(fs, fam, 7, at.Add(vclock.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted %d documents (%d files on disk)\n", len(victims), len(fs.List()))
+
+	// Normal life happens for an hour, then the infection begins.
+	at = at.Add(vclock.Hour)
+	res, at, err := ransom.Attack(fs, fam, victims, 8, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s encrypted %d files (%.1f KiB) between %v and %v\n",
+		fam.Name, len(res.Victims), float64(res.BytesHit)/1024, res.Start, res.End)
+
+	// The originals are gone from the namespace…
+	gone := 0
+	for _, name := range victims {
+		if _, err := fs.Size(name); err != nil {
+			gone++
+		}
+	}
+	fmt.Printf("original files deleted by the malware: %d/%d\n", gone, len(victims))
+
+	// …but not from the flash. Recover with 4 host threads.
+	st, _, err := ransom.Recover(kit, res, 4, at.Add(vclock.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: rolled back %d pages in %v (query share %v)\n",
+		st.PagesRolledBack, st.RecoveryTime, st.QueryTime)
+	fmt.Printf("file system remounted: %v; all contents verified byte-exact: %v\n",
+		st.Remount, st.Verified)
+}

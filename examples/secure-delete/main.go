@@ -1,0 +1,92 @@
+// Secure delete under retention: §3.10's dilemma and its answer. A
+// time-traveling SSD deliberately defeats deletion — which is exactly
+// wrong for data that must actually die. With a retention key configured,
+// deleted data is sealed in delta storage: the owner (key holder) can
+// still travel back to it, while an attacker who steals the drive and
+// rebuilds its state from the raw flash recovers nothing.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+func main() {
+	key := []byte("a 32-byte AES-256 retention key!")
+	fc := flash.DefaultConfig()
+	fc.BlocksPerPlane = 16
+	fc.PagesPerBlock = 16
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 30 * vclock.Day // the demo must not expire the secret
+	cfg.RetentionKey = key
+	dev, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secret := make([]byte, dev.PageSize())
+	copy(secret, "SSN 078-05-1120 / the launch codes")
+	const lpa = 3
+	at, err := dev.Write(lpa, secret, vclock.Time(vclock.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote a secret, then deleted it")
+	if at, err = dev.Trim(lpa, at.Add(vclock.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	// Background compression moves the deleted version into (encrypted)
+	// delta storage; churn + GC then erase the plaintext original.
+	churn(dev, &at)
+
+	// The owner, holding the key, still time-travels to the secret.
+	vers, _, err := dev.Versions(lpa, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owner sees %d retained version(s); recovered intact: %v\n",
+		len(vers), len(vers) > 0 && bytes.Equal(vers[0].Data, secret))
+
+	// The attacker steals the drive: raw flash image, no key.
+	stolenCfg := cfg
+	stolenCfg.RetentionKey = nil
+	stolen, err := core.Rebuild(dev.Arr, stolenCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svers, _, err := stolen.Versions(lpa, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaked := false
+	for _, v := range svers {
+		if bytes.Contains(v.Data, []byte("SSN")) {
+			leaked = true
+		}
+	}
+	fmt.Printf("attacker (no key) decodes %d version(s); secret leaked: %v\n", len(svers), leaked)
+	fmt.Println("time travel for the owner, secure deletion against everyone else (§3.10)")
+}
+
+// churn forces compression and GC so the plaintext original is erased.
+func churn(dev *core.TimeSSD, at *vclock.Time) {
+	filler := make([]byte, dev.PageSize())
+	for i := 0; i < dev.Config().FTL.Flash.TotalPages(); i++ {
+		filler[0] = byte(i)
+		done, err := dev.Write(uint64(50+i%40), filler, at.Add(vclock.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
+		*at = done
+		if i%256 == 255 {
+			dev.Idle(*at, at.Add(30*vclock.Second))
+			*at = at.Add(30 * vclock.Second)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module almanac
+
+go 1.22

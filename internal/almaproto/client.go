@@ -1,0 +1,247 @@
+package almaproto
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"almanac/internal/core"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+// Client is the host-side driver: it issues protocol commands over a
+// connection and exposes the same shapes the in-process TimeKits API does.
+// A Client is safe for concurrent use; commands serialise on the wire.
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+}
+
+// Dial connects to an almanacd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request body and decodes the response status.
+func (c *Client) roundTrip(body []byte) (*dec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, body); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: resp}
+	if status := d.u8(); status != 0 {
+		return nil, &RemoteError{Msg: string(d.bytes())}
+	}
+	return d, nil
+}
+
+func request(op Op) *enc {
+	e := &enc{}
+	e.u8(uint8(op))
+	return e
+}
+
+// Identify fetches device geometry and the retention window start.
+func (c *Client) Identify() (Identity, error) {
+	d, err := c.roundTrip(request(OpIdentify).b)
+	if err != nil {
+		return Identity{}, err
+	}
+	id := Identity{
+		PageSize:     int(d.u32()),
+		LogicalPages: int(d.u64()),
+		Channels:     int(d.u32()),
+		WindowStart:  d.time(),
+	}
+	return id, d.err
+}
+
+// Read fetches the current content of lpa.
+func (c *Client) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	e := request(OpRead)
+	e.u64(lpa)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return nil, at, err
+	}
+	done := d.time()
+	data := d.bytes()
+	return data, done, d.err
+}
+
+// Write stores data at lpa.
+func (c *Client) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error) {
+	e := request(OpWrite)
+	e.u64(lpa)
+	e.time(at)
+	e.bytes(data)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return at, err
+	}
+	done := d.time()
+	return done, d.err
+}
+
+// Trim invalidates lpa.
+func (c *Client) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
+	e := request(OpTrim)
+	e.u64(lpa)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return at, err
+	}
+	done := d.time()
+	return done, d.err
+}
+
+func (c *Client) addrQuery(op Op, addr uint64, cnt int, t1, t2, at vclock.Time) ([]timekits.PageVersions, vclock.Time, error) {
+	e := request(op)
+	e.u64(addr)
+	e.u32(uint32(cnt))
+	switch op {
+	case OpAddrQuery:
+		e.time(t1)
+	case OpAddrQueryRange:
+		e.time(t1)
+		e.time(t2)
+	}
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return nil, at, err
+	}
+	done := d.time()
+	n := int(d.u32())
+	cap := n
+	if cap > 4096 {
+		cap = 4096 // grow past this instead of trusting the peer's count
+	}
+	out := make([]timekits.PageVersions, 0, cap)
+	for i := 0; i < n && d.err == nil; i++ {
+		pv := timekits.PageVersions{LPA: d.u64()}
+		pv.Versions = decVersions(d)
+		out = append(out, pv)
+	}
+	return out, done, d.err
+}
+
+// AddrQuery returns, per LPA, the version current at time t.
+func (c *Client) AddrQuery(addr uint64, cnt int, t, at vclock.Time) ([]timekits.PageVersions, vclock.Time, error) {
+	return c.addrQuery(OpAddrQuery, addr, cnt, t, 0, at)
+}
+
+// AddrQueryRange returns versions written in [t1, t2].
+func (c *Client) AddrQueryRange(addr uint64, cnt int, t1, t2, at vclock.Time) ([]timekits.PageVersions, vclock.Time, error) {
+	return c.addrQuery(OpAddrQueryRange, addr, cnt, t1, t2, at)
+}
+
+// AddrQueryAll returns every retained version.
+func (c *Client) AddrQueryAll(addr uint64, cnt int, at vclock.Time) ([]timekits.PageVersions, vclock.Time, error) {
+	return c.addrQuery(OpAddrQueryAll, addr, cnt, 0, 0, at)
+}
+
+func (c *Client) timeQuery(op Op, t1, t2, at vclock.Time) ([]core.UpdateRecord, vclock.Time, error) {
+	e := request(op)
+	switch op {
+	case OpTimeQuery:
+		e.time(t1)
+	case OpTimeQueryRange:
+		e.time(t1)
+		e.time(t2)
+	}
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return nil, at, err
+	}
+	done := d.time()
+	recs := decRecords(d)
+	return recs, done, d.err
+}
+
+// TimeQuery returns LPAs updated since t.
+func (c *Client) TimeQuery(t, at vclock.Time) ([]core.UpdateRecord, vclock.Time, error) {
+	return c.timeQuery(OpTimeQuery, t, 0, at)
+}
+
+// TimeQueryRange returns LPAs updated within [t1, t2].
+func (c *Client) TimeQueryRange(t1, t2, at vclock.Time) ([]core.UpdateRecord, vclock.Time, error) {
+	return c.timeQuery(OpTimeQueryRange, t1, t2, at)
+}
+
+// TimeQueryAll returns the whole retention window's update history.
+func (c *Client) TimeQueryAll(at vclock.Time) ([]core.UpdateRecord, vclock.Time, error) {
+	return c.timeQuery(OpTimeQueryAll, 0, 0, at)
+}
+
+// RollBack reverts cnt LPAs from addr to their state at time t.
+func (c *Client) RollBack(addr uint64, cnt int, t, at vclock.Time) (int, vclock.Time, error) {
+	e := request(OpRollBack)
+	e.u64(addr)
+	e.u32(uint32(cnt))
+	e.time(t)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return 0, at, err
+	}
+	done := d.time()
+	changed := int(d.u32())
+	return changed, done, d.err
+}
+
+// RollBackParallel reverts a set of LPAs with the given host threads.
+func (c *Client) RollBackParallel(lpas []uint64, threads int, t, at vclock.Time) (int, vclock.Time, error) {
+	e := request(OpRollBackParallel)
+	e.u32(uint32(len(lpas)))
+	for _, lpa := range lpas {
+		e.u64(lpa)
+	}
+	e.u32(uint32(threads))
+	e.time(t)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return 0, at, err
+	}
+	done := d.time()
+	changed := int(d.u32())
+	return changed, done, d.err
+}
+
+// Stats fetches the device counters.
+func (c *Client) Stats() (DeviceStats, error) {
+	d, err := c.roundTrip(request(OpStats).b)
+	if err != nil {
+		return DeviceStats{}, err
+	}
+	st := DeviceStats{
+		HostPageWrites: d.i64(),
+		HostPageReads:  d.i64(),
+		FlashPrograms:  d.i64(),
+		FlashReads:     d.i64(),
+		FlashErases:    d.i64(),
+		DeltasCreated:  d.i64(),
+		WindowDrops:    d.i64(),
+	}
+	return st, d.err
+}

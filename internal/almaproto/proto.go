@@ -1,0 +1,259 @@
+// Package almaproto is the host⇄device command protocol of Project
+// Almanac. The paper's implementation "defines new NVMe commands to wrap
+// the TimeKits API" and runs TimeKits atop the host NVMe driver (§4); this
+// package is that boundary for the simulated device: a framed, versioned
+// binary protocol carrying block I/O, the Table-1 state queries, and
+// rollback, served over any net.Conn (the almanacd command serves TCP).
+//
+// Because the device lives in virtual time, every command carries the
+// virtual issue time and every completion returns the virtual done time —
+// the protocol transports the simulation clock alongside the data, exactly
+// as the harness's in-process calls do.
+//
+// Wire format (little endian):
+//
+//	frame  := u32 bodyLen, body
+//	request body  := u8 opcode, payload…
+//	response body := u8 status (0 = OK), payload… | error string
+package almaproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"almanac/internal/core"
+	"almanac/internal/vclock"
+)
+
+// Op identifies a command.
+type Op uint8
+
+const (
+	OpIdentify Op = iota + 1
+	OpRead
+	OpWrite
+	OpTrim
+	OpAddrQuery
+	OpAddrQueryRange
+	OpAddrQueryAll
+	OpTimeQuery
+	OpTimeQueryRange
+	OpTimeQueryAll
+	OpRollBack
+	OpRollBackParallel
+	OpStats
+)
+
+func (o Op) String() string {
+	names := map[Op]string{
+		OpIdentify: "Identify", OpRead: "Read", OpWrite: "Write", OpTrim: "Trim",
+		OpAddrQuery: "AddrQuery", OpAddrQueryRange: "AddrQueryRange", OpAddrQueryAll: "AddrQueryAll",
+		OpTimeQuery: "TimeQuery", OpTimeQueryRange: "TimeQueryRange", OpTimeQueryAll: "TimeQueryAll",
+		OpRollBack: "RollBack", OpRollBackParallel: "RollBackParallel", OpStats: "Stats",
+	}
+	if n, ok := names[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// maxFrame bounds a frame body; large enough for a full-device TimeQuery
+// result on simulated geometries, small enough to reject garbage framing.
+const maxFrame = 64 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("almaproto: frame exceeds limit")
+	ErrShortPayload  = errors.New("almaproto: truncated payload")
+)
+
+// RemoteError is a device-side failure relayed to the client.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "almaproto: device: " + e.Msg }
+
+// writeFrame sends one length-prefixed body.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame receives one length-prefixed body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)         { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)       { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)       { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)        { e.u64(uint64(v)) }
+func (e *enc) time(t vclock.Time) { e.i64(int64(t)) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// dec is a bounds-checked payload reader.
+type dec struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos+n > len(d.b) {
+		d.err = ErrShortPayload
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *dec) i64() int64        { return int64(d.u64()) }
+func (d *dec) time() vclock.Time { return vclock.Time(d.i64()) }
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || !d.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.pos:d.pos+n])
+	d.pos += n
+	return out
+}
+
+// Version mirrors core.Version on the wire.
+func encVersions(e *enc, vers []core.Version) {
+	e.u32(uint32(len(vers)))
+	for _, v := range vers {
+		e.time(v.TS)
+		if v.Live {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.bytes(v.Data)
+	}
+}
+
+func decVersions(d *dec) []core.Version {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		return nil
+	}
+	out := make([]core.Version, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		v := core.Version{TS: d.time(), Live: d.u8() == 1, Data: d.bytes()}
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func encRecords(e *enc, recs []core.UpdateRecord) {
+	e.u32(uint32(len(recs)))
+	for _, r := range recs {
+		e.u64(r.LPA)
+		e.u32(uint32(len(r.Times)))
+		for _, t := range r.Times {
+			e.time(t)
+		}
+	}
+}
+
+func decRecords(d *dec) []core.UpdateRecord {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/8 {
+		return nil
+	}
+	out := make([]core.UpdateRecord, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		r := core.UpdateRecord{LPA: d.u64()}
+		m := int(d.u32())
+		if d.err != nil || m > maxFrame/8 {
+			return nil
+		}
+		for j := 0; j < m; j++ {
+			r.Times = append(r.Times, d.time())
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Identity describes the device to the host.
+type Identity struct {
+	PageSize     int
+	LogicalPages int
+	Channels     int
+	WindowStart  vclock.Time
+}
+
+// DeviceStats is the counter snapshot OpStats returns. (The retention
+// window's start is part of Identify, since it is a point in virtual time
+// rather than a counter.)
+type DeviceStats struct {
+	HostPageWrites int64
+	HostPageReads  int64
+	FlashPrograms  int64
+	FlashReads     int64
+	FlashErases    int64
+	DeltasCreated  int64
+	WindowDrops    int64
+}

@@ -1,0 +1,259 @@
+package almaproto
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"almanac/internal/core"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+// Server exposes one TimeSSD over the command protocol. Connections are
+// handled concurrently; commands serialise on the device mutex (the
+// firmware's single command interpreter, §4).
+type Server struct {
+	dev *core.TimeSSD
+	kit *timekits.Kit
+	mu  sync.Mutex
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+}
+
+// NewServer wraps a device.
+func NewServer(dev *core.TimeSSD) *Server {
+	return &Server{dev: dev, kit: timekits.New(dev)}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener; Serve returns after in-flight connections end.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer
+		}
+		resp := s.dispatch(body)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one command body and builds the response body.
+func (s *Server) dispatch(body []byte) []byte {
+	fail := func(err error) []byte {
+		e := &enc{}
+		e.u8(1)
+		e.bytes([]byte(err.Error()))
+		return e.b
+	}
+	if len(body) == 0 {
+		return fail(ErrShortPayload)
+	}
+	op := Op(body[0])
+	d := &dec{b: body, pos: 1}
+	e := &enc{}
+	e.u8(0) // OK; overwritten by fail on error
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	switch op {
+	case OpIdentify:
+		e.u32(uint32(s.dev.PageSize()))
+		e.u64(uint64(s.dev.LogicalPages()))
+		e.u32(uint32(s.dev.Config().FTL.Flash.Channels))
+		e.time(s.dev.RetentionWindowStart())
+
+	case OpRead:
+		lpa, at := d.u64(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		data, done, err := s.dev.Read(lpa, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(done)
+		e.bytes(data)
+
+	case OpWrite:
+		lpa, at, data := d.u64(), d.time(), d.bytes()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		done, err := s.dev.Write(lpa, data, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(done)
+
+	case OpTrim:
+		lpa, at := d.u64(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		done, err := s.dev.Trim(lpa, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(done)
+
+	case OpAddrQuery, OpAddrQueryRange, OpAddrQueryAll:
+		addr, cnt := d.u64(), int(d.u32())
+		var t1, t2 vclock.Time
+		switch op {
+		case OpAddrQuery:
+			t1 = d.time()
+		case OpAddrQueryRange:
+			t1, t2 = d.time(), d.time()
+		}
+		at := d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		var res timekits.Result[[]timekits.PageVersions]
+		var err error
+		switch op {
+		case OpAddrQuery:
+			res, err = s.kit.AddrQuery(addr, cnt, t1, at)
+		case OpAddrQueryRange:
+			res, err = s.kit.AddrQueryRange(addr, cnt, t1, t2, at)
+		default:
+			res, err = s.kit.AddrQueryAll(addr, cnt, at)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		e.u32(uint32(len(res.Value)))
+		for _, pv := range res.Value {
+			e.u64(pv.LPA)
+			encVersions(e, pv.Versions)
+		}
+
+	case OpTimeQuery, OpTimeQueryRange, OpTimeQueryAll:
+		var t1, t2 vclock.Time
+		switch op {
+		case OpTimeQuery:
+			t1 = d.time()
+		case OpTimeQueryRange:
+			t1, t2 = d.time(), d.time()
+		}
+		at := d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		var res timekits.Result[[]core.UpdateRecord]
+		var err error
+		switch op {
+		case OpTimeQuery:
+			res, err = s.kit.TimeQuery(t1, at)
+		case OpTimeQueryRange:
+			res, err = s.kit.TimeQueryRange(t1, t2, at)
+		default:
+			res, err = s.kit.TimeQueryAll(at)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		encRecords(e, res.Value)
+
+	case OpRollBack:
+		addr, cnt, t, at := d.u64(), int(d.u32()), d.time(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		res, err := s.kit.RollBack(addr, cnt, t, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		e.u32(uint32(res.Value))
+
+	case OpRollBackParallel:
+		n := int(d.u32())
+		if d.err != nil || n > maxFrame/8 {
+			return fail(ErrShortPayload)
+		}
+		lpas := make([]uint64, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			lpas = append(lpas, d.u64())
+		}
+		threads, t, at := int(d.u32()), d.time(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		res, err := s.kit.RollBackParallel(lpas, threads, t, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		e.u32(uint32(res.Value))
+
+	case OpStats:
+		fs := s.dev.Arr.Stats()
+		ts := s.dev.TimeStats()
+		e.i64(s.dev.HostPageWrites)
+		e.i64(s.dev.HostPageReads)
+		e.i64(fs.Programs)
+		e.i64(fs.Reads)
+		e.i64(fs.Erases)
+		e.i64(ts.DeltasCreated)
+		e.i64(ts.WindowDrops)
+
+	default:
+		return fail(fmt.Errorf("almaproto: unknown opcode %d", body[0]))
+	}
+	if d.pos != len(d.b) {
+		return fail(fmt.Errorf("almaproto: %v: %d trailing payload bytes", op, len(d.b)-d.pos))
+	}
+	return e.b
+}
+
+// ServeOne handles exactly one connection (for tests over net.Pipe).
+func (s *Server) ServeOne(conn io.ReadWriter) {
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, s.dispatch(body)); err != nil {
+			return
+		}
+	}
+}

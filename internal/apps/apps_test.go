@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"testing"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/fsim"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+func newFS(t *testing.T, mode fsim.Mode) *fsim.FS {
+	t.Helper()
+	fc := flash.DefaultConfig()
+	fc.Channels = 4
+	fc.ChipsPerChannel = 1
+	fc.BlocksPerPlane = 64
+	fc.PagesPerBlock = 32
+	fc.PageSize = 2048
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0
+	dev, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fsim.DefaultOptions(mode)
+	opts.InodeCount = 256
+	fs, _, err := fsim.Mkfs(dev, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestIOZonePhases(t *testing.T) {
+	fs := newFS(t, fsim.ModeInPlace)
+	res, _, err := IOZone(fs, IOZoneConfig{Files: 4, PagesPerFile: 32, OpsPerPhase: 200, Seed: 1}, vclock.Time(vclock.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := int64(fs.Device().PageSize())
+	for _, r := range []Result{res.SeqWrite, res.SeqRead, res.RandWrite, res.RandRead} {
+		// OpsPerPhase counts pages: every phase moves the same volume.
+		if r.Bytes != 200*ps {
+			t.Fatalf("%s: moved %d bytes, want %d", r.Name, r.Bytes, 200*ps)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: no virtual time elapsed", r.Name)
+		}
+		if r.MBPerSec() <= 0 || r.OpsPerSec() <= 0 {
+			t.Fatalf("%s: zero throughput", r.Name)
+		}
+	}
+	// Reads must be faster than writes on flash.
+	if res.SeqRead.Elapsed >= res.SeqWrite.Elapsed {
+		t.Fatalf("sequential read (%v) not faster than write (%v)",
+			res.SeqRead.Elapsed, res.SeqWrite.Elapsed)
+	}
+}
+
+func TestPostMark(t *testing.T) {
+	for _, mode := range []fsim.Mode{fsim.ModeInPlace, fsim.ModeDataJournal, fsim.ModeLogStructured} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs := newFS(t, mode)
+			cfg := DefaultPostMark()
+			cfg.InitialFiles = 20
+			cfg.Transactions = 150
+			res, _, err := PostMark(fs, cfg, vclock.Time(vclock.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 150 {
+				t.Fatalf("completed %d transactions", res.Ops)
+			}
+			if res.OpsPerSec() <= 0 {
+				t.Fatal("no throughput")
+			}
+		})
+	}
+}
+
+func TestPostMarkJournalSlower(t *testing.T) {
+	run := func(mode fsim.Mode) float64 {
+		fs := newFS(t, mode)
+		cfg := DefaultPostMark()
+		cfg.InitialFiles = 20
+		cfg.Transactions = 200
+		res, _, err := PostMark(fs, cfg, vclock.Time(vclock.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OpsPerSec()
+	}
+	inPlace := run(fsim.ModeInPlace)
+	journal := run(fsim.ModeDataJournal)
+	if journal >= inPlace {
+		t.Fatalf("data journaling (%.1f tps) not slower than in-place (%.1f tps)", journal, inPlace)
+	}
+}
+
+func TestOLTPKinds(t *testing.T) {
+	for _, kind := range []OLTPKind{TPCC, TPCB, TATP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := newFS(t, fsim.ModeInPlace)
+			res, _, err := OLTP(fs, OLTPConfig{Kind: kind, TablePages: 200, Transactions: 150, Seed: 2}, vclock.Time(vclock.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 150 {
+				t.Fatalf("%d transactions", res.Ops)
+			}
+			if res.OpsPerSec() <= 0 {
+				t.Fatal("no throughput")
+			}
+		})
+	}
+}
+
+func TestOLTPShapeOrdering(t *testing.T) {
+	// TATP transactions are far lighter than TPCC's, so TATP must achieve
+	// higher TPS on the same device (the paper reports 122.3K vs 6.3K).
+	run := func(kind OLTPKind) float64 {
+		fs := newFS(t, fsim.ModeInPlace)
+		res, _, err := OLTP(fs, OLTPConfig{Kind: kind, TablePages: 200, Transactions: 200, Seed: 3}, vclock.Time(vclock.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OpsPerSec()
+	}
+	tpcc := run(TPCC)
+	tpcb := run(TPCB)
+	tatp := run(TATP)
+	if !(tatp > tpcb && tpcb > tpcc) {
+		t.Fatalf("TPS ordering wrong: TPCC=%.0f TPCB=%.0f TATP=%.0f", tpcc, tpcb, tatp)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"almanac/internal/flash"
+)
+
+// CheckInvariants cross-validates TimeSSD's time-travel structures on top
+// of the base FTL's consistency check. O(device); for tests and debugging.
+func (t *TimeSSD) CheckInvariants() error {
+	if err := t.CheckConsistency(); err != nil {
+		return err
+	}
+	// The PRT only ever marks invalid pages: a reclaimable bit on a valid
+	// page would let GC discard live data.
+	for ppa, marked := range t.prt {
+		if marked && t.PVT[ppa] {
+			return fmt.Errorf("timessd: ppa %d is both valid and PRT-reclaimable", ppa)
+		}
+	}
+	// A trimmed LPA has no AMT mapping (the trim record *is* the head).
+	for lpa, rec := range t.trimmed {
+		if t.AMT[lpa] != flash.NullPPA {
+			return fmt.Errorf("timessd: lpa %d is both mapped and trimmed", lpa)
+		}
+		if rec.head == flash.NullPPA {
+			return fmt.Errorf("timessd: trim record for lpa %d has no chain head", lpa)
+		}
+	}
+	// Pending deltas must belong to live cohorts, hold strictly older
+	// versions than the live head, and agree with the pending index key.
+	for lpa, p := range t.pending {
+		if p.d.LPA != lpa {
+			return fmt.Errorf("timessd: pending index %d holds delta for lpa %d", lpa, p.d.LPA)
+		}
+		found := false
+		for _, seg := range t.cohorts {
+			if seg == p.seg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("timessd: pending delta for lpa %d references a retired cohort", lpa)
+		}
+		if head := t.AMT[lpa]; head != flash.NullPPA {
+			oob, err := t.Arr.PeekOOB(head)
+			if err != nil {
+				return err
+			}
+			if p.d.TS >= oob.TS {
+				return fmt.Errorf("timessd: pending delta for lpa %d (ts %v) not older than live head (ts %v)",
+					lpa, p.d.TS, oob.TS)
+			}
+		}
+	}
+	// Cohort delta blocks must be live delta blocks in the BST, and no
+	// block may belong to two cohorts (or a cohort and the expired queue).
+	owner := map[int]string{}
+	claim := func(blk int, who string) error {
+		if prev, ok := owner[blk]; ok {
+			return fmt.Errorf("timessd: delta block %d claimed by both %s and %s", blk, prev, who)
+		}
+		owner[blk] = who
+		if t.Info[blk].Kind != flash.KindDelta {
+			return fmt.Errorf("timessd: %s block %d has kind %v", who, blk, t.Info[blk].Kind)
+		}
+		return nil
+	}
+	for id, seg := range t.cohorts {
+		who := fmt.Sprintf("cohort %d", id)
+		if seg.activeBlk >= 0 {
+			if err := claim(seg.activeBlk, who); err != nil {
+				return err
+			}
+		}
+		for _, blk := range seg.blocks {
+			if err := claim(blk, who); err != nil {
+				return err
+			}
+		}
+	}
+	for _, blk := range t.expiredDeltaBlocks {
+		if err := claim(blk, "expired-queue"); err != nil {
+			return err
+		}
+	}
+	// Every live delta block in the BST must be accounted for above.
+	for blk := range t.Info {
+		if t.Info[blk].Kind == flash.KindDelta {
+			if _, ok := owner[blk]; !ok {
+				return fmt.Errorf("timessd: delta block %d owned by no cohort and not queued for erase", blk)
+			}
+		}
+	}
+	// The IMT must point into delta storage (a live delta/raw page) or at
+	// a stale location in a since-erased block — never at live user data.
+	for lpa, ppa := range t.imt {
+		oob, err := t.Arr.PeekOOB(ppa)
+		if err != nil {
+			continue // erased with its cohort: a legal stale head
+		}
+		if oob.Kind == flash.KindDelta || oob.Kind == flash.KindDeltaRaw {
+			continue
+		}
+		// The block was erased and reused for data; stale but detectable.
+		if t.Info[t.Arr.BlockOf(ppa)].Kind == flash.KindDelta {
+			return fmt.Errorf("timessd: imt head of lpa %d points at %v page inside a delta block", lpa, oob.Kind)
+		}
+	}
+	return nil
+}

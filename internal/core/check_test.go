@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"almanac/internal/vclock"
+)
+
+// TestInvariantsUnderChurn runs the invariant checker repeatedly during a
+// heavy mixed workload: writes, trims, idle compression, GC, and rollback
+// all interleave, and after every slice the full structure cross-check
+// must hold.
+func TestInvariantsUnderChurn(t *testing.T) {
+	d := newTiny(t, nil)
+	rng := rand.New(rand.NewSource(77))
+	logical := d.LogicalPages() * 3 / 4
+	at := vclock.Time(0)
+	for step := 0; step < 4000; step++ {
+		at = at.Add(vclock.Second)
+		lpa := uint64(rng.Intn(logical))
+		var err error
+		switch rng.Intn(20) {
+		case 0:
+			at, err = d.Trim(lpa, at)
+		case 1:
+			// A long idle period: background machinery runs.
+			d.Idle(at, at.Add(30*vclock.Second))
+			at = at.Add(30 * vclock.Second)
+		case 2:
+			at, err = d.RollBack(lpa, at.Add(-vclock.Minute), at)
+		case 3, 4:
+			_, _, err = d.Read(lpa, at)
+		default:
+			at, err = d.Write(lpa, versionPage(d, lpa, step), at)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%500 == 499 {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsAfterRollBackAll checks the structures after the most
+// write-intensive operation the API offers.
+func TestInvariantsAfterRollBackAll(t *testing.T) {
+	d := newTiny(t, nil)
+	rng := rand.New(rand.NewSource(78))
+	at := vclock.Time(0)
+	for i := 0; i < 600; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(40)), versionPage(d, 0, i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	mid := at.Add(-5 * vclock.Minute)
+	if _, _, err := d.RollBackAll(mid, at.Add(vclock.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsFreshDevice(t *testing.T) {
+	d := newTiny(t, nil)
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"almanac/internal/flash"
+)
+
+// TestImagePersistenceRoundTrip is the full power-cycle: churn a device,
+// serialise the flash medium, deserialise, rebuild the firmware state, and
+// verify live contents and invariants — the almanacd -image path.
+func TestImagePersistenceRoundTrip(t *testing.T) {
+	d := newTiny(t, nil)
+	at := churnDevice(t, d, d.cfg.FTL.Flash.TotalPages()*2)
+
+	var buf bytes.Buffer
+	if err := d.Arr.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := flash.ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rebuild(arr, d.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for lpa := uint64(0); lpa < uint64(d.LogicalPages()); lpa++ {
+		want, _, err := d.Read(lpa, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := r.Read(lpa, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lpa %d differs after image round trip", lpa)
+		}
+	}
+	// Wear survives the power cycle.
+	minA, maxA := d.Arr.WearSpread()
+	minB, maxB := arr.WearSpread()
+	if minA != minB || maxA != maxB {
+		t.Fatalf("wear spread changed: %d..%d vs %d..%d", minA, maxA, minB, maxB)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"almanac/internal/vclock"
+)
+
+// TestQuickHistoryProperty drives randomly-seeded op sequences (write,
+// trim, rollback, idle) against a per-page history model and checks, for
+// every seed, the core retention contract:
+//
+//	soundness    — every retrieved version was actually written;
+//	completeness — every version invalidated inside the window (plus the
+//	               live head) is retrieved byte-exact;
+//	order        — Versions returns strictly decreasing timestamps.
+func TestQuickHistoryProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		d, err := New(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		logical := d.LogicalPages() / 2
+		type rec struct {
+			ts      vclock.Time
+			seq     int
+			invalid vclock.Time
+		}
+		hist := map[uint64][]rec{}
+		invalidate := func(lpa uint64, at vclock.Time) {
+			if h := hist[lpa]; len(h) > 0 && h[len(h)-1].invalid == 0 {
+				h[len(h)-1].invalid = at
+			}
+		}
+		at := vclock.Time(0)
+		seq := 0
+		steps := 600 + rng.Intn(600)
+		for i := 0; i < steps; i++ {
+			at = at.Add(vclock.Second)
+			lpa := uint64(rng.Intn(logical))
+			switch rng.Intn(12) {
+			case 0: // trim
+				if _, err := d.Trim(lpa, at); err != nil {
+					t.Fatal(err)
+				}
+				invalidate(lpa, at)
+			case 1: // idle period
+				d.Idle(at, at.Add(20*vclock.Second))
+				at = at.Add(20 * vclock.Second)
+			default: // write
+				done, err := d.Write(lpa, versionPage(d, lpa, seq), at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				invalidate(lpa, at)
+				hist[lpa] = append(hist[lpa], rec{ts: at, seq: seq})
+				seq++
+				at = done
+			}
+		}
+		window := d.RetentionWindowStart()
+		for lpa, h := range hist {
+			vers, _, err := d.Versions(lpa, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Order.
+			for i := 1; i < len(vers); i++ {
+				if vers[i].TS >= vers[i-1].TS {
+					t.Logf("seed %d: lpa %d timestamps not decreasing", seed, lpa)
+					return false
+				}
+			}
+			// Soundness.
+			wrote := map[vclock.Time]int{}
+			for _, r := range h {
+				wrote[r.ts] = r.seq
+			}
+			got := map[vclock.Time][]byte{}
+			for _, v := range vers {
+				s, ok := wrote[v.TS]
+				if !ok || !bytes.Equal(v.Data, versionPage(d, lpa, s)) {
+					t.Logf("seed %d: lpa %d phantom/corrupt version at %v", seed, lpa, v.TS)
+					return false
+				}
+				got[v.TS] = v.Data
+			}
+			// Completeness.
+			for _, r := range h {
+				live := r.invalid == 0
+				if !live && r.invalid <= window {
+					continue
+				}
+				if _, ok := got[r.ts]; !ok {
+					t.Logf("seed %d: lpa %d version %v missing (invalid %v, window %v)",
+						seed, lpa, r.ts, r.invalid, window)
+					return false
+				}
+			}
+		}
+		return d.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRollBackIdempotent checks that rolling back to the same instant
+// twice is a no-op the second time, for arbitrary write histories.
+func TestQuickRollBackIdempotent(t *testing.T) {
+	prop := func(seed int64, nWrites uint8) bool {
+		d, err := New(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nWrites%40) + 2
+		at := vclock.Time(0)
+		for i := 0; i < n; i++ {
+			at = at.Add(vclock.Second)
+			done, err := d.Write(uint64(rng.Intn(8)), versionPage(d, uint64(rng.Intn(8)), i), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = done
+		}
+		when := vclock.Time(int64(at) / 2)
+		done, err := d.RollBack(3, when, at.Add(vclock.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, _, err := d.Read(3, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := append([]byte(nil), first...)
+		done2, err := d.RollBack(3, when, done.Add(vclock.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, _, err := d.Read(3, done2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Equal(snap, second)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVersionAtMonotone checks that VersionAt is monotone: for any
+// two query instants t1 ≤ t2, the version current at t1 has a timestamp no
+// newer than the version current at t2.
+func TestQuickVersionAtMonotone(t *testing.T) {
+	d, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := vclock.Time(0)
+	for i := 0; i < 24; i++ {
+		at = at.Add(vclock.Minute)
+		done, err := d.Write(5, versionPage(d, 5, i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	prop := func(a, b uint32) bool {
+		t1 := vclock.Time(a % uint32(at))
+		t2 := vclock.Time(b % uint32(at))
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		v1, _, err := d.VersionAt(5, t1, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, _, err := d.VersionAt(5, t2, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 == nil {
+			return true // nothing at t1: vacuously monotone
+		}
+		return v2 != nil && v1.TS <= v2.TS
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

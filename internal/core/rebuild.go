@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"almanac/internal/bloom"
+	"almanac/internal/delta"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+// Rebuild reconstructs a TimeSSD's entire in-core state from a flash array
+// alone — the firmware's crash-recovery path. Everything the device needs
+// is recoverable from what it stored on flash:
+//
+//   - the AMT comes from each LPA's newest data version (OOB reverse
+//     mappings, write timestamps breaking ties);
+//   - older data versions are re-registered as retained: their PPAs enter
+//     a fresh Bloom-filter chain, so the retention window restarts at the
+//     rebuild instant but no surviving history is lost;
+//   - the IMT comes from scanning delta pages for each LPA's newest delta;
+//   - partially-written blocks are padded closed (as firmware does after
+//     power loss) and delta blocks join one legacy cohort that retires
+//     with the first window segment group.
+//
+// Deliberate losses, matching real FTL semantics: RAM-only delta buffers
+// (their source pages are still on flash and simply count as retained
+// again) and trim records (an LPA whose newest version survives is treated
+// as live — crash-lost trims are standard for SSDs without a persistent
+// trim journal).
+func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
+	b, err := ftl.NewBaseOn(arr, cfg.FTL)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CohortSegments < 1 {
+		cfg.CohortSegments = 1
+	}
+	t := &TimeSSD{
+		Base:    b,
+		cfg:     cfg,
+		zero:    make([]byte, cfg.FTL.Flash.PageSize),
+		chain:   bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, 0),
+		cohorts: make(map[int]*segment),
+		imt:     make(map[uint64]flash.PPA),
+		pending: make(map[uint64]pendingDelta),
+		prt:     make([]bool, cfg.FTL.Flash.TotalPages()),
+		trimmed: make(map[uint64]trimRecord),
+	}
+	if err := t.initCipher(); err != nil {
+		return nil, err
+	}
+
+	fc := cfg.FTL.Flash
+	ps := fc.PagesPerBlock
+
+	// Pass 0: close partially-written blocks. Firmware pads an open block
+	// after a crash so programming can only ever resume on fresh blocks.
+	for blk := 0; blk < fc.TotalBlocks(); blk++ {
+		wp := arr.WritePtr(blk)
+		if wp == 0 || wp == ps {
+			continue
+		}
+		filler := flash.OOB{LPA: deltaPageLPA, BackPtr: flash.NullPPA, Kind: flash.KindTranslation}
+		for arr.WritePtr(blk) < ps {
+			if _, _, err := arr.Program(blk, nil, filler, 0); err != nil {
+				return nil, fmt.Errorf("rebuild: padding block %d: %w", blk, err)
+			}
+		}
+	}
+
+	// Pass 1: full OOB scan. Newest write timestamp wins the AMT; every
+	// older data version is a retained invalid page. Delta pages rebuild
+	// the IMT (newest delta per LPA).
+	type head struct {
+		ppa flash.PPA
+		ts  vclock.Time
+	}
+	liveHead := map[uint64]head{}
+	imtHead := map[uint64]head{}
+	blockKind := make([]flash.PageKind, fc.TotalBlocks())
+	var adopted []ftl.AdoptedBlock
+
+	for blk := 0; blk < fc.TotalBlocks(); blk++ {
+		if arr.WritePtr(blk) == 0 {
+			continue
+		}
+		kind := flash.KindTranslation // downgraded below if real content found
+		for off := 0; off < ps; off++ {
+			ppa := arr.AddrOf(blk, off)
+			data, oob, err := arr.PeekPage(ppa)
+			if err != nil {
+				return nil, fmt.Errorf("rebuild: scan ppa %d: %w", ppa, err)
+			}
+			switch oob.Kind {
+			case flash.KindData:
+				kind = flash.KindData
+				if h, ok := liveHead[oob.LPA]; !ok || oob.TS > h.ts {
+					liveHead[oob.LPA] = head{ppa, oob.TS}
+				}
+			case flash.KindDelta:
+				kind = flash.KindDelta
+				ds, err := delta.UnpackPage(data)
+				if err != nil {
+					continue // torn delta page: its versions are lost
+				}
+				for _, d := range ds {
+					if h, ok := imtHead[d.LPA]; !ok || d.TS > h.ts {
+						imtHead[d.LPA] = head{ppa, d.TS}
+					}
+				}
+			case flash.KindDeltaRaw:
+				kind = flash.KindDelta
+				if h, ok := imtHead[oob.LPA]; !ok || oob.TS > h.ts {
+					imtHead[oob.LPA] = head{ppa, oob.TS}
+				}
+			}
+		}
+		blockKind[blk] = kind
+	}
+
+	// Pass 2: validity. Only each LPA's newest data version is valid; all
+	// other programmed pages are invalid (retained versions, deltas count
+	// as live content of their blocks — see below — and filler is dead).
+	logical := uint64(b.LogicalPages())
+	for lpa, h := range liveHead {
+		if lpa >= logical {
+			return nil, fmt.Errorf("rebuild: flash holds lpa %d beyond logical capacity %d", lpa, logical)
+		}
+		b.AMT[lpa] = h.ppa
+		b.PVT[h.ppa] = true
+	}
+	for lpa, h := range imtHead {
+		if live, ok := liveHead[lpa]; ok && live.ts <= h.ts {
+			return nil, fmt.Errorf("rebuild: lpa %d has a delta (ts %v) newer than its live head (ts %v)", lpa, h.ts, live.ts)
+		}
+		t.imt[lpa] = h.ppa
+	}
+
+	legacy := t.newSegment()
+	for blk := 0; blk < fc.TotalBlocks(); blk++ {
+		if arr.WritePtr(blk) == 0 {
+			continue
+		}
+		valid, invalid := 0, 0
+		for off := 0; off < ps; off++ {
+			ppa := arr.AddrOf(blk, off)
+			oob, err := arr.PeekOOB(ppa)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case oob.Kind == flash.KindData && b.PVT[ppa]:
+				valid++
+			case oob.Kind == flash.KindData:
+				// A retained version: re-register its invalidation so the
+				// fresh window covers it (time of invalidation unknown →
+				// conservatively "now", i.e. the rebuild instant).
+				invalid++
+				t.chain.Invalidate(uint64(ppa), 0)
+				t.st.Invalidations++
+			case oob.Kind == flash.KindDelta || oob.Kind == flash.KindDeltaRaw:
+				// Delta content is live until its cohort retires.
+				b.PVT[ppa] = true
+				valid++
+			default: // filler padding
+				invalid++
+			}
+		}
+		adopted = append(adopted, ftl.AdoptedBlock{Blk: blk, Kind: blockKind[blk], Valid: valid, Invalid: invalid})
+		if blockKind[blk] == flash.KindDelta {
+			legacy.blocks = append(legacy.blocks, blk)
+		}
+	}
+	if err := b.Adopt(adopted); err != nil {
+		return nil, err
+	}
+	if len(legacy.blocks) > 0 {
+		t.cohorts[0] = legacy
+	}
+	return t, nil
+}

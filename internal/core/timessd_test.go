@@ -1,0 +1,631 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+// tinyConfig builds a small device: 2 channels × 16 blocks × 8 pages ×
+// 128 B. Small enough for exhaustive checks, deep enough for GC pressure.
+func tinyConfig() Config {
+	fc := flash.DefaultConfig()
+	fc.Channels = 2
+	fc.ChipsPerChannel = 1
+	fc.BlocksPerPlane = 16
+	fc.PagesPerBlock = 8
+	fc.PageSize = 128
+	cfg := DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0 // tests control retention explicitly
+	cfg.BFCapacity = 64
+	cfg.BFGroup = 1
+	cfg.NFixed = 256
+	return cfg
+}
+
+func newTiny(t *testing.T, mutate func(*Config)) *TimeSSD {
+	t.Helper()
+	cfg := tinyConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// versionPage builds page content for (lpa, seq) with high content locality
+// between consecutive seqs: only the header and a small window change.
+func versionPage(d *TimeSSD, lpa uint64, seq int) []byte {
+	p := make([]byte, d.PageSize())
+	for i := range p {
+		p[i] = byte(lpa)
+	}
+	p[0] = byte(seq)
+	p[1] = byte(seq >> 8)
+	off := 8 + (seq*7)%32
+	p[off] = byte(seq * 13)
+	return p
+}
+
+func TestWriteReadVersions(t *testing.T) {
+	d := newTiny(t, nil)
+	var at vclock.Time
+	var stamps []vclock.Time
+	for seq := 0; seq < 5; seq++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(3, versionPage(d, 3, seq), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps = append(stamps, at)
+		at = done
+	}
+	vers, _, err := d.Versions(3, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 5 {
+		t.Fatalf("got %d versions, want 5", len(vers))
+	}
+	if !vers[0].Live {
+		t.Fatal("newest version not marked live")
+	}
+	for i, v := range vers {
+		seq := 4 - i
+		if v.TS != stamps[seq] {
+			t.Fatalf("version %d TS %v, want %v", i, v.TS, stamps[seq])
+		}
+		if !bytes.Equal(v.Data, versionPage(d, 3, seq)) {
+			t.Fatalf("version %d content mismatch", i)
+		}
+	}
+}
+
+func TestVersionAtSemantics(t *testing.T) {
+	d := newTiny(t, nil)
+	times := []vclock.Time{100, 200, 300}
+	for seq, ts := range times {
+		if _, err := d.Write(1, versionPage(d, 1, seq), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		when vclock.Time
+		seq  int // -1 = no content
+	}{
+		{50, -1}, {100, 0}, {150, 0}, {200, 1}, {250, 1}, {300, 2}, {999, 2},
+	}
+	for _, c := range cases {
+		v, _, err := d.VersionAt(1, c.when, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.seq < 0 {
+			if v != nil {
+				t.Fatalf("VersionAt(%d) = %v, want none", c.when, v.TS)
+			}
+			continue
+		}
+		if v == nil {
+			t.Fatalf("VersionAt(%d) = none, want seq %d", c.when, c.seq)
+		}
+		if !bytes.Equal(v.Data, versionPage(d, 1, c.seq)) {
+			t.Fatalf("VersionAt(%d): wrong content", c.when)
+		}
+	}
+}
+
+func TestRollBack(t *testing.T) {
+	d := newTiny(t, nil)
+	d.Write(2, versionPage(d, 2, 0), 100)
+	d.Write(2, versionPage(d, 2, 1), 200)
+	done, err := d.RollBack(2, 150, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := d.Read(2, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, versionPage(d, 2, 0)) {
+		t.Fatal("rollback did not restore version 0")
+	}
+	// The rolled-over state (version 1) must itself remain recoverable:
+	// rollback is a write, not an erasure (§3.9).
+	vers, _, err := d.Versions(2, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range vers {
+		if bytes.Equal(v.Data, versionPage(d, 2, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("version 1 lost after rollback")
+	}
+}
+
+func TestTrimRetainsAndRecovers(t *testing.T) {
+	d := newTiny(t, nil)
+	d.Write(4, versionPage(d, 4, 0), 100)
+	if _, err := d.Trim(4, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Current read is zero.
+	data, _, _ := d.Read(4, 300)
+	if data[0] != 0 {
+		t.Fatal("trimmed page reads non-zero")
+	}
+	// History survives the trim.
+	vers, _, err := d.Versions(4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 1 || !bytes.Equal(vers[0].Data, versionPage(d, 4, 0)) {
+		t.Fatalf("trimmed version not retrievable: %d versions", len(vers))
+	}
+	// Roll back to before the trim.
+	done, err := d.RollBack(4, 150, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = d.Read(4, done)
+	if !bytes.Equal(data, versionPage(d, 4, 0)) {
+		t.Fatal("rollback after trim failed")
+	}
+}
+
+func TestWriteAfterTrimPreservesLineage(t *testing.T) {
+	d := newTiny(t, nil)
+	d.Write(6, versionPage(d, 6, 0), 100)
+	d.Trim(6, 200)
+	d.Write(6, versionPage(d, 6, 1), 300)
+	vers, _, err := d.Versions(6, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 2 {
+		t.Fatalf("lineage across trim: %d versions, want 2", len(vers))
+	}
+	if !bytes.Equal(vers[1].Data, versionPage(d, 6, 0)) {
+		t.Fatal("pre-trim version lost")
+	}
+}
+
+// TestHistoryModelUnderGC is the central property test: under heavy random
+// overwrite pressure (several device-capacities of writes, GC and delta
+// compression constantly active), every version whose invalidation time is
+// inside the retention window must be retrievable and byte-exact, and
+// everything retrieved must be a version that was actually written.
+func TestHistoryModelUnderGC(t *testing.T) {
+	d := newTiny(t, nil)
+	rng := rand.New(rand.NewSource(42))
+	logical := d.LogicalPages() / 2
+	type rec struct {
+		ts      vclock.Time
+		seq     int
+		invalid vclock.Time // when superseded; 0 = still live
+	}
+	hist := make(map[uint64][]rec)
+	at := vclock.Time(0)
+	seq := 0
+	writes := d.cfg.FTL.Flash.TotalPages() * 5
+	for i := 0; i < writes; i++ {
+		at = at.Add(vclock.Second)
+		lpa := uint64(rng.Intn(logical))
+		done, err := d.Write(lpa, versionPage(d, lpa, seq), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		h := hist[lpa]
+		if len(h) > 0 {
+			h[len(h)-1].invalid = at
+		}
+		hist[lpa] = append(h, rec{ts: at, seq: seq})
+		seq++
+		at = done
+	}
+	if d.GC.Runs == 0 {
+		t.Fatal("GC never ran")
+	}
+	if d.st.DeltasCreated == 0 {
+		t.Fatal("no deltas were ever created")
+	}
+	window := d.RetentionWindowStart()
+
+	checked, recovered := 0, 0
+	for lpa, h := range hist {
+		vers, _, err := d.Versions(lpa, at)
+		if err != nil {
+			t.Fatalf("versions(%d): %v", lpa, err)
+		}
+		byTS := make(map[vclock.Time][]byte, len(vers))
+		for _, v := range vers {
+			byTS[v.TS] = v.Data
+		}
+		// Soundness: everything retrieved matches a real write.
+		wrote := make(map[vclock.Time]int, len(h))
+		for _, r := range h {
+			wrote[r.ts] = r.seq
+		}
+		for _, v := range vers {
+			s, ok := wrote[v.TS]
+			if !ok {
+				t.Fatalf("lpa %d: phantom version at %v", lpa, v.TS)
+			}
+			if !bytes.Equal(v.Data, versionPage(d, lpa, s)) {
+				t.Fatalf("lpa %d: version %v content corrupt", lpa, v.TS)
+			}
+		}
+		// Completeness: every version invalidated inside the window (plus
+		// the live head) must be present.
+		for _, r := range h {
+			live := r.invalid == 0
+			// An invalidation at exactly the window start was recorded in
+			// the dropped filter (it is what sealed it), so the window
+			// covers invalidations strictly after its start.
+			if !live && r.invalid <= window {
+				continue // legitimately expired
+			}
+			checked++
+			got, ok := byTS[r.ts]
+			if !ok {
+				t.Fatalf("lpa %d: version ts=%v (invalidated %v, window start %v, live=%v) missing",
+					lpa, r.ts, r.invalid, window, live)
+			}
+			if !bytes.Equal(got, versionPage(d, lpa, r.seq)) {
+				t.Fatalf("lpa %d: version ts=%v corrupt", lpa, r.ts)
+			}
+			recovered++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("model check exercised nothing")
+	}
+	t.Logf("recovered %d/%d in-window versions; %d deltas; %d window drops; %d segments",
+		recovered, checked, d.st.DeltasCreated, d.st.WindowDrops, d.Segments())
+}
+
+// TestReadYourWrites checks current-state linearisability under mixed ops.
+func TestReadYourWrites(t *testing.T) {
+	d := newTiny(t, nil)
+	rng := rand.New(rand.NewSource(9))
+	logical := d.LogicalPages() * 3 / 4
+	model := make(map[uint64]int)
+	at := vclock.Time(0)
+	seq := 1
+	for i := 0; i < 5000; i++ {
+		at = at.Add(100 * vclock.Millisecond)
+		lpa := uint64(rng.Intn(logical))
+		switch rng.Intn(10) {
+		case 0:
+			var err error
+			at, err = d.Trim(lpa, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, lpa)
+		case 1, 2:
+			data, _, err := d.Read(lpa, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, ok := model[lpa]; ok {
+				if !bytes.Equal(data, versionPage(d, lpa, s)) {
+					t.Fatalf("step %d: lpa %d stale", i, lpa)
+				}
+			} else if data[0] != 0 {
+				t.Fatalf("step %d: deleted lpa %d non-zero", i, lpa)
+			}
+		default:
+			done, err := d.Write(lpa, versionPage(d, lpa, seq), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[lpa] = seq
+			seq++
+			at = done
+		}
+	}
+}
+
+func TestRetentionWindowAdapts(t *testing.T) {
+	d := newTiny(t, func(c *Config) {
+		c.BFCapacity = 16 // many short segments
+	})
+	rng := rand.New(rand.NewSource(5))
+	logical := d.LogicalPages() * 4 / 5 // high utilisation forces pressure
+	at := vclock.Time(0)
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*6; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(logical)), versionPage(d, 0, i), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		at = done
+	}
+	if d.st.WindowDrops == 0 {
+		t.Fatal("window never shortened under sustained pressure")
+	}
+	if d.RetentionWindowStart() == 0 {
+		t.Fatal("window start never advanced")
+	}
+}
+
+func TestRetentionFullStopsIO(t *testing.T) {
+	d := newTiny(t, func(c *Config) {
+		c.MinRetention = 365 * vclock.Day // nothing may ever expire
+	})
+	rng := rand.New(rand.NewSource(6))
+	logical := d.LogicalPages() * 4 / 5
+	at := vclock.Time(0)
+	var sawFull bool
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*6; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(logical)), versionPage(d, 0, i), at)
+		if err != nil {
+			if errors.Is(err, ErrRetentionFull) {
+				sawFull = true
+				break
+			}
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+		at = done
+	}
+	if !sawFull {
+		t.Fatal("device never enforced the retention guarantee by stopping I/O")
+	}
+}
+
+func TestMinRetentionBoundsDrops(t *testing.T) {
+	// With a 1-hour minimum and writes spaced a second apart, any window
+	// drop must leave at least an hour of history.
+	d := newTiny(t, func(c *Config) {
+		c.MinRetention = vclock.Hour
+		c.BFCapacity = 16
+	})
+	rng := rand.New(rand.NewSource(7))
+	logical := d.LogicalPages() / 2
+	at := vclock.Time(0)
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*6; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(logical)), versionPage(d, 0, i), at)
+		if err != nil {
+			if errors.Is(err, ErrRetentionFull) {
+				break
+			}
+			t.Fatal(err)
+		}
+		at = done
+		if d.st.WindowDrops > 0 {
+			if w := d.RetentionDuration(at); w < vclock.Hour {
+				t.Fatalf("window %v below the 1h minimum after a drop", w)
+			}
+		}
+	}
+}
+
+func TestIdleCompression(t *testing.T) {
+	// A long minimum retention keeps the proactive shedder from expiring
+	// the history before the compression pass can get to it.
+	d := newTiny(t, func(c *Config) { c.MinRetention = 30 * vclock.Day })
+	at := vclock.Time(0)
+	// Build up invalid versions.
+	for i := 0; i < 200; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(i%20), versionPage(d, uint64(i%20), i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	// Warm the predictor with long gaps, then grant an idle period.
+	d.observeArrival(at.Add(vclock.Second))
+	d.Idle(at.Add(vclock.Second), at.Add(10*vclock.Second))
+	if d.st.IdleCompressions == 0 {
+		t.Fatal("idle cycle compressed nothing")
+	}
+	// History must survive background compression.
+	vers, _, err := d.Versions(5, at.Add(20*vclock.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) < 2 {
+		t.Fatalf("history lost after idle compression: %d versions", len(vers))
+	}
+	for _, v := range vers {
+		if !bytes.Equal(v.Data, versionPage(d, 5, int(v.Data[0])|int(v.Data[1])<<8)) {
+			t.Fatal("version corrupted by idle compression")
+		}
+	}
+}
+
+func TestIdleCompressionDisabled(t *testing.T) {
+	d := newTiny(t, func(c *Config) { c.DisableIdleCompression = true })
+	at := vclock.Time(0)
+	for i := 0; i < 100; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(i%10), versionPage(d, uint64(i%10), i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	d.observeArrival(at.Add(vclock.Second))
+	d.Idle(at.Add(vclock.Second), at.Add(vclock.Minute))
+	if d.st.IdleCompressions != 0 {
+		t.Fatal("disabled idle compression still ran")
+	}
+}
+
+func TestDisableCompressionStillRetains(t *testing.T) {
+	d := newTiny(t, func(c *Config) { c.DisableCompression = true })
+	rng := rand.New(rand.NewSource(8))
+	logical := d.LogicalPages() / 2
+	type rec struct {
+		ts  vclock.Time
+		seq int
+	}
+	last := make(map[uint64][]rec)
+	at := vclock.Time(0)
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*4; i++ {
+		at = at.Add(vclock.Second)
+		lpa := uint64(rng.Intn(logical))
+		done, err := d.Write(lpa, versionPage(d, lpa, i), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		last[lpa] = append(last[lpa], rec{at, i})
+		at = done
+	}
+	if d.st.DeltasCreated != 0 {
+		t.Fatal("compression disabled but deltas created")
+	}
+	// Spot-check retrievability of recent history.
+	window := d.RetentionWindowStart()
+	for lpa, h := range last {
+		vers, _, err := d.Versions(lpa, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byTS := map[vclock.Time]bool{}
+		for _, v := range vers {
+			byTS[v.TS] = true
+		}
+		for i, r := range h {
+			inval := vclock.Time(0)
+			if i+1 < len(h) {
+				inval = h[i+1].ts
+			}
+			if inval != 0 && inval <= window {
+				continue
+			}
+			if !byTS[r.ts] {
+				t.Fatalf("lpa %d: version %v missing with compression disabled", lpa, r.ts)
+			}
+		}
+	}
+}
+
+func TestUpdatedBetween(t *testing.T) {
+	d := newTiny(t, nil)
+	d.Write(1, versionPage(d, 1, 0), 100)
+	d.Write(2, versionPage(d, 2, 0), 200)
+	d.Write(1, versionPage(d, 1, 1), 300)
+	recs, _, err := d.UpdatedBetween(150, 250, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LPA != 2 {
+		t.Fatalf("UpdatedBetween(150,250) = %+v", recs)
+	}
+	recs, _, _ = d.UpdatedBetween(0, 1000, 1000)
+	if len(recs) != 2 {
+		t.Fatalf("full-range query found %d LPAs", len(recs))
+	}
+	for _, r := range recs {
+		if r.LPA == 1 && len(r.Times) != 2 {
+			t.Fatalf("LPA 1 has %d timestamps, want 2", len(r.Times))
+		}
+	}
+}
+
+func TestRollBackAll(t *testing.T) {
+	d := newTiny(t, nil)
+	for lpa := uint64(0); lpa < 8; lpa++ {
+		d.Write(lpa, versionPage(d, lpa, 0), vclock.Time(100+lpa))
+	}
+	for lpa := uint64(0); lpa < 8; lpa++ {
+		d.Write(lpa, versionPage(d, lpa, 1), vclock.Time(1000+lpa))
+	}
+	// LPA 9 created only after the rollback point: must vanish.
+	d.Write(9, versionPage(d, 9, 2), 2000)
+	n, done, err := d.RollBackAll(500, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("rolled back %d pages, want 9", n)
+	}
+	for lpa := uint64(0); lpa < 8; lpa++ {
+		data, _, _ := d.Read(lpa, done)
+		if !bytes.Equal(data, versionPage(d, lpa, 0)) {
+			t.Fatalf("lpa %d not restored", lpa)
+		}
+	}
+	data, _, _ := d.Read(9, done)
+	if data[0] != 0 {
+		t.Fatal("lpa 9 should have been trimmed by rollback")
+	}
+}
+
+func TestEstimatorTrips(t *testing.T) {
+	d := newTiny(t, func(c *Config) {
+		c.TH = 0.0001 // any GC work at all trips the estimator
+		c.BFCapacity = 16
+		c.NFixed = 64
+	})
+	rng := rand.New(rand.NewSource(10))
+	logical := d.LogicalPages() * 4 / 5
+	at := vclock.Time(0)
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*4; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(logical)), versionPage(d, 0, i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	if d.st.EstimatorChecks == 0 || d.st.EstimatorTrips == 0 {
+		t.Fatalf("estimator never engaged: checks=%d trips=%d",
+			d.st.EstimatorChecks, d.st.EstimatorTrips)
+	}
+}
+
+func TestFlushDeltas(t *testing.T) {
+	d := newTiny(t, nil)
+	rng := rand.New(rand.NewSource(11))
+	at := vclock.Time(0)
+	for i := 0; i < d.cfg.FTL.Flash.TotalPages()*3; i++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(uint64(rng.Intn(20)), versionPage(d, 0, i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	if _, err := d.FlushDeltas(at); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.pending) != 0 {
+		t.Fatalf("%d pending deltas after flush", len(d.pending))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NFixed = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("NFixed=0 accepted")
+	}
+	cfg = tinyConfig()
+	cfg.TH = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("TH=0 accepted")
+	}
+	cfg = tinyConfig()
+	cfg.MinRetention = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Package delta implements TimeSSD's delta compression engine (§3.6).
+//
+// When an obsolete data version is selected for compression, the latest
+// version mapped to the same LPA is taken as the reference; the obsolete
+// version is represented by a compressed delta (XOR difference against the
+// reference, squeezed with LZF). Deltas are far smaller than pages for
+// workloads with content locality, which is what lets TimeSSD retain weeks
+// of history.
+//
+// Each delta carries the metadata the paper lists: the LPA it belongs to,
+// the back-pointer to the previous version's physical page, its own write
+// timestamp, and the write timestamp of the reference version (needed to
+// pick the right reference at decompression time). Deltas are coalesced
+// into page-sized delta pages with a header recording the number of deltas,
+// their byte offsets, and their metadata (§3.7).
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"almanac/internal/lzf"
+	"almanac/internal/vclock"
+)
+
+// Encoding identifies how a delta payload encodes the obsolete version.
+type Encoding uint8
+
+const (
+	// EncXORLZF is the normal case: payload = LZF(old XOR reference).
+	EncXORLZF Encoding = iota
+	// EncRawLZF stores LZF(old) without a reference; used when the version
+	// chain has no newer reference (e.g. the version was trimmed).
+	EncRawLZF
+	// EncRaw stores the old version verbatim; fallback when compression
+	// does not pay (incompressible content).
+	EncRaw
+)
+
+// Delta is one compressed obsolete version of a logical page.
+type Delta struct {
+	LPA     uint64      // logical page this version belongs to
+	BackPtr uint64      // PPA of the previous (older) version in the chain
+	TS      vclock.Time // write timestamp of this version
+	RefTS   vclock.Time // write timestamp of the reference version
+	Enc     Encoding
+	Payload []byte
+}
+
+// ErrCorruptPage is returned when a delta page fails to parse.
+var ErrCorruptPage = errors.New("delta: corrupt delta page")
+
+// Encode compresses old against ref (both pageSize long) and returns the
+// payload plus the encoding chosen. ref may be nil, in which case the old
+// version is self-compressed (EncRawLZF or EncRaw).
+func Encode(old, ref []byte) (Encoding, []byte) {
+	if ref != nil && len(ref) != len(old) {
+		panic("delta: reference and version sizes differ")
+	}
+	var src []byte
+	enc := EncRawLZF
+	if ref != nil {
+		src = make([]byte, len(old))
+		for i := range old {
+			src[i] = old[i] ^ ref[i]
+		}
+		enc = EncXORLZF
+	} else {
+		src = old
+	}
+	out := lzf.Compress(make([]byte, 0, len(old)/2), src)
+	if len(out) >= len(old) {
+		// Compression did not pay; store verbatim.
+		raw := make([]byte, len(old))
+		copy(raw, old)
+		return EncRaw, raw
+	}
+	return enc, out
+}
+
+// Decode reconstructs the obsolete version from payload. ref must be the
+// page content whose write timestamp equals the delta's RefTS when Enc is
+// EncXORLZF; it is ignored otherwise. pageSize bounds the output.
+func Decode(enc Encoding, payload, ref []byte, pageSize int) ([]byte, error) {
+	switch enc {
+	case EncRaw:
+		if len(payload) != pageSize {
+			return nil, fmt.Errorf("delta: raw payload is %d bytes, want %d", len(payload), pageSize)
+		}
+		out := make([]byte, pageSize)
+		copy(out, payload)
+		return out, nil
+	case EncRawLZF:
+		out, err := lzf.Decompress(make([]byte, 0, pageSize), payload, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != pageSize {
+			return nil, fmt.Errorf("delta: decoded %d bytes, want %d", len(out), pageSize)
+		}
+		return out, nil
+	case EncXORLZF:
+		if len(ref) != pageSize {
+			return nil, fmt.Errorf("delta: reference is %d bytes, want %d", len(ref), pageSize)
+		}
+		out, err := lzf.Decompress(make([]byte, 0, pageSize), payload, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != pageSize {
+			return nil, fmt.Errorf("delta: decoded %d bytes, want %d", len(out), pageSize)
+		}
+		for i := range out {
+			out[i] ^= ref[i]
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("delta: unknown encoding %d", enc)
+	}
+}
+
+// Size returns the number of bytes d occupies inside a delta page,
+// including its per-delta header entry.
+func (d *Delta) Size() int { return entrySize + len(d.Payload) }
+
+// Delta page layout:
+//
+//	u16 count
+//	count × entry { u32 off, u32 len, u8 enc, u64 lpa, u64 backptr, i64 ts, i64 refts }
+//	payload bytes...
+const (
+	headerSize = 2
+	entrySize  = 4 + 4 + 1 + 8 + 8 + 8 + 8
+)
+
+// PageCapacity returns the payload capacity of a delta page of the given
+// size holding n deltas.
+func PageCapacity(pageSize, n int) int { return pageSize - headerSize - n*entrySize }
+
+// PackPage serialises deltas into a page buffer of pageSize bytes. It packs
+// as many leading deltas as fit and returns the buffer plus the number of
+// deltas consumed. At least one delta must fit; if the first delta alone
+// exceeds the page an error is returned (callers size deltas ≤ page size).
+func PackPage(deltas []*Delta, pageSize int) ([]byte, int, error) {
+	if len(deltas) == 0 {
+		return nil, 0, errors.New("delta: no deltas to pack")
+	}
+	n := 0
+	used := headerSize
+	for _, d := range deltas {
+		if used+d.Size() > pageSize {
+			break
+		}
+		used += d.Size()
+		n++
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("delta: first delta (%d B) exceeds page size %d", deltas[0].Size(), pageSize)
+	}
+	buf := make([]byte, pageSize)
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(n))
+	off := headerSize + n*entrySize
+	pos := headerSize
+	for _, d := range deltas[:n] {
+		binary.LittleEndian.PutUint32(buf[pos:], uint32(off))
+		binary.LittleEndian.PutUint32(buf[pos+4:], uint32(len(d.Payload)))
+		buf[pos+8] = byte(d.Enc)
+		binary.LittleEndian.PutUint64(buf[pos+9:], d.LPA)
+		binary.LittleEndian.PutUint64(buf[pos+17:], d.BackPtr)
+		binary.LittleEndian.PutUint64(buf[pos+25:], uint64(d.TS))
+		binary.LittleEndian.PutUint64(buf[pos+33:], uint64(d.RefTS))
+		copy(buf[off:], d.Payload)
+		off += len(d.Payload)
+		pos += entrySize
+	}
+	return buf, n, nil
+}
+
+// UnpackPage parses a delta page produced by PackPage.
+func UnpackPage(buf []byte) ([]*Delta, error) {
+	if len(buf) < headerSize {
+		return nil, ErrCorruptPage
+	}
+	n := int(binary.LittleEndian.Uint16(buf[0:2]))
+	if headerSize+n*entrySize > len(buf) {
+		return nil, fmt.Errorf("%w: %d entries do not fit", ErrCorruptPage, n)
+	}
+	out := make([]*Delta, 0, n)
+	pos := headerSize
+	for i := 0; i < n; i++ {
+		off := int(binary.LittleEndian.Uint32(buf[pos:]))
+		plen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+		if off < 0 || plen < 0 || off+plen > len(buf) {
+			return nil, fmt.Errorf("%w: entry %d payload out of range", ErrCorruptPage, i)
+		}
+		d := &Delta{
+			Enc:     Encoding(buf[pos+8]),
+			LPA:     binary.LittleEndian.Uint64(buf[pos+9:]),
+			BackPtr: binary.LittleEndian.Uint64(buf[pos+17:]),
+			TS:      vclock.Time(binary.LittleEndian.Uint64(buf[pos+25:])),
+			RefTS:   vclock.Time(binary.LittleEndian.Uint64(buf[pos+33:])),
+			Payload: append([]byte(nil), buf[off:off+plen]...),
+		}
+		out = append(out, d)
+		pos += entrySize
+	}
+	return out, nil
+}
+
+// Buffer coalesces deltas until a page fills (§3.6's "delta buffers").
+// It is a plain accumulator; the owner decides when to flush.
+type Buffer struct {
+	pageSize int
+	deltas   []*Delta
+	used     int
+}
+
+// NewBuffer returns a delta buffer for pageSize-byte flash pages.
+func NewBuffer(pageSize int) *Buffer {
+	return &Buffer{pageSize: pageSize, used: headerSize}
+}
+
+// Fits reports whether d can be added without exceeding one page.
+func (b *Buffer) Fits(d *Delta) bool { return b.used+d.Size() <= b.pageSize }
+
+// Add appends d to the buffer. It returns false if d does not fit (the
+// caller should Flush first).
+func (b *Buffer) Add(d *Delta) bool {
+	if !b.Fits(d) {
+		return false
+	}
+	b.deltas = append(b.deltas, d)
+	b.used += d.Size()
+	return true
+}
+
+// Len returns the number of buffered deltas.
+func (b *Buffer) Len() int { return len(b.deltas) }
+
+// Empty reports whether the buffer holds no deltas.
+func (b *Buffer) Empty() bool { return len(b.deltas) == 0 }
+
+// Flush serialises the buffered deltas into a page image and resets the
+// buffer. It returns nil if the buffer is empty.
+func (b *Buffer) Flush() ([]byte, []*Delta, error) {
+	if len(b.deltas) == 0 {
+		return nil, nil, nil
+	}
+	page, n, err := PackPage(b.deltas, b.pageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n != len(b.deltas) {
+		return nil, nil, fmt.Errorf("delta: buffer overflow, packed %d of %d", n, len(b.deltas))
+	}
+	flushed := b.deltas
+	b.deltas = nil
+	b.used = headerSize
+	return page, flushed, nil
+}

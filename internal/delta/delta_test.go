@@ -1,0 +1,242 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"almanac/internal/vclock"
+)
+
+const pageSize = 4096
+
+// similarPages builds an (old, ref) pair where ref differs from old in
+// roughly frac of its bytes — the paper's "content locality" assumption.
+func similarPages(rng *rand.Rand, frac float64) (old, ref []byte) {
+	old = make([]byte, pageSize)
+	rng.Read(old)
+	ref = append([]byte(nil), old...)
+	n := int(frac * pageSize)
+	for i := 0; i < n; i++ {
+		ref[rng.Intn(pageSize)] = byte(rng.Intn(256))
+	}
+	return old, ref
+}
+
+func TestEncodeDecodeXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, frac := range []float64{0, 0.01, 0.05, 0.2, 0.5} {
+		old, ref := similarPages(rng, frac)
+		enc, payload := Encode(old, ref)
+		got, err := Decode(enc, payload, ref, pageSize)
+		if err != nil {
+			t.Fatalf("frac=%v: decode: %v", frac, err)
+		}
+		if !bytes.Equal(got, old) {
+			t.Fatalf("frac=%v: round trip mismatch", frac)
+		}
+	}
+}
+
+func TestEncodeSimilarPagesCompressWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	old, ref := similarPages(rng, 0.05)
+	enc, payload := Encode(old, ref)
+	if enc != EncXORLZF {
+		t.Fatalf("similar pages chose encoding %v", enc)
+	}
+	if len(payload) > pageSize/2 {
+		t.Fatalf("5%% diff compressed to %d bytes; expected well under half a page", len(payload))
+	}
+}
+
+func TestEncodeIncompressibleFallsBackToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	old := make([]byte, pageSize)
+	rng.Read(old)
+	// No reference at all and random content: LZF will not pay.
+	enc, payload := Encode(old, nil)
+	if enc != EncRaw {
+		t.Fatalf("random content without reference chose %v, want EncRaw", enc)
+	}
+	got, err := Decode(enc, payload, nil, pageSize)
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("raw round trip failed: %v", err)
+	}
+}
+
+func TestEncodeNoReference(t *testing.T) {
+	old := bytes.Repeat([]byte("log entry "), 410)[:pageSize]
+	enc, payload := Encode(old, nil)
+	if enc != EncRawLZF {
+		t.Fatalf("compressible content without reference chose %v", enc)
+	}
+	got, err := Decode(enc, payload, nil, pageSize)
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestDecodeWrongSizes(t *testing.T) {
+	if _, err := Decode(EncRaw, []byte{1, 2, 3}, nil, pageSize); err == nil {
+		t.Fatal("short raw payload accepted")
+	}
+	if _, err := Decode(EncXORLZF, nil, []byte{1}, pageSize); err == nil {
+		t.Fatal("wrong-size reference accepted")
+	}
+	if _, err := Decode(Encoding(99), nil, nil, pageSize); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+}
+
+func TestQuickXORRoundTrip(t *testing.T) {
+	f := func(seed int64, changes uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old, ref := similarPages(rng, float64(changes%1000)/1000)
+		enc, payload := Encode(old, ref)
+		got, err := Decode(enc, payload, ref, pageSize)
+		return err == nil && bytes.Equal(got, old)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeDelta(rng *rand.Rand, lpa uint64, ts vclock.Time, payloadLen int) *Delta {
+	p := make([]byte, payloadLen)
+	rng.Read(p)
+	return &Delta{
+		LPA:     lpa,
+		BackPtr: rng.Uint64(),
+		TS:      ts,
+		RefTS:   ts + 100,
+		Enc:     EncXORLZF,
+		Payload: p,
+	}
+}
+
+func TestPackUnpackPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ds []*Delta
+	for i := 0; i < 10; i++ {
+		ds = append(ds, makeDelta(rng, uint64(i), vclock.Time(i*1000), 50+rng.Intn(200)))
+	}
+	page, n, err := PackPage(ds, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("packed %d of 10", n)
+	}
+	if len(page) != pageSize {
+		t.Fatalf("page is %d bytes", len(page))
+	}
+	got, err := UnpackPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("unpacked %d deltas", len(got))
+	}
+	for i := range ds {
+		a, b := ds[i], got[i]
+		if a.LPA != b.LPA || a.BackPtr != b.BackPtr || a.TS != b.TS ||
+			a.RefTS != b.RefTS || a.Enc != b.Enc || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("delta %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestPackPagePartialFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var ds []*Delta
+	for i := 0; i < 5; i++ {
+		ds = append(ds, makeDelta(rng, uint64(i), vclock.Time(i), 1500))
+	}
+	_, n, err := PackPage(ds, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n >= 5 {
+		t.Fatalf("expected a partial fit, packed %d", n)
+	}
+}
+
+func TestPackPageOversize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := makeDelta(rng, 1, 1, pageSize) // payload alone fills the page
+	if _, _, err := PackPage([]*Delta{d}, pageSize); err == nil {
+		t.Fatal("oversize delta packed without error")
+	}
+}
+
+func TestPackPageEmpty(t *testing.T) {
+	if _, _, err := PackPage(nil, pageSize); err == nil {
+		t.Fatal("empty pack accepted")
+	}
+}
+
+func TestUnpackCorrupt(t *testing.T) {
+	if _, err := UnpackPage([]byte{1}); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+	// Count claims more entries than fit.
+	bad := make([]byte, 64)
+	bad[0] = 0xff
+	bad[1] = 0xff
+	if _, err := UnpackPage(bad); err == nil {
+		t.Fatal("overflowing count accepted")
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuffer(pageSize)
+	if !b.Empty() {
+		t.Fatal("fresh buffer not empty")
+	}
+	if page, _, err := b.Flush(); err != nil || page != nil {
+		t.Fatal("flush of empty buffer should be a no-op")
+	}
+	added := 0
+	for {
+		d := makeDelta(rng, uint64(added), vclock.Time(added), 300)
+		if !b.Fits(d) {
+			if b.Add(d) {
+				t.Fatal("Add succeeded after Fits said no")
+			}
+			break
+		}
+		if !b.Add(d) {
+			t.Fatal("Add failed after Fits said yes")
+		}
+		added++
+	}
+	if added == 0 {
+		t.Fatal("nothing fit in an empty buffer")
+	}
+	page, ds, err := b.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != added {
+		t.Fatalf("flushed %d deltas, added %d", len(ds), added)
+	}
+	got, err := UnpackPage(page)
+	if err != nil || len(got) != added {
+		t.Fatalf("unpack after flush: %v, %d deltas", err, len(got))
+	}
+	if !b.Empty() {
+		t.Fatal("buffer not reset after flush")
+	}
+}
+
+func TestPageCapacity(t *testing.T) {
+	if got := PageCapacity(pageSize, 0); got != pageSize-headerSize {
+		t.Fatalf("capacity(0) = %d", got)
+	}
+	if got := PageCapacity(pageSize, 2); got != pageSize-headerSize-2*entrySize {
+		t.Fatalf("capacity(2) = %d", got)
+	}
+}

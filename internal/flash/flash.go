@@ -1,0 +1,427 @@
+// Package flash simulates a NAND flash array: channels, chips, planes,
+// blocks, and pages, with out-of-band (OOB) metadata per page, per-channel
+// timing, and per-block wear accounting.
+//
+// This is the hardware substrate the paper's TimeSSD firmware runs on
+// (Fig. 1). The simulator enforces the two NAND constraints everything
+// above depends on: a page can only be programmed after its block is erased
+// (out-of-place updates), and pages within a block must be programmed
+// sequentially. Latencies are charged against virtual time on the channel
+// that owns the target chip, which models the internal parallelism TimeKits
+// exploits for fast state queries (§3.9).
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"almanac/internal/vclock"
+)
+
+// PPA is a physical page address: a dense index over every page in the
+// array. NullPPA marks "no page" (e.g. the end of a version chain).
+type PPA uint64
+
+// NullPPA is the nil value for physical page addresses.
+const NullPPA = PPA(^uint64(0))
+
+// PageKind tags what a programmed page holds; it is part of the simulated
+// OOB metadata so GC and recovery can interpret pages without host help.
+type PageKind uint8
+
+const (
+	KindFree        PageKind = iota // erased, never programmed
+	KindData                        // a user data version
+	KindDelta                       // packed compressed deltas
+	KindDeltaRaw                    // an incompressible retained version stored whole in a delta block
+	KindTranslation                 // FTL translation-table page
+)
+
+func (k PageKind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindData:
+		return "data"
+	case KindDelta:
+		return "delta"
+	case KindDeltaRaw:
+		return "delta-raw"
+	case KindTranslation:
+		return "translation"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// OOB is the out-of-band metadata stored alongside each flash page. The
+// paper stores the reverse-mapping triple here (§3.7): the LPA the page
+// maps to, a back-pointer to the previous version's PPA, and the write
+// timestamp. Kind distinguishes data, delta, and translation pages.
+type OOB struct {
+	LPA     uint64
+	BackPtr PPA
+	TS      vclock.Time
+	Kind    PageKind
+}
+
+// Config fixes the geometry and the latency model of the array.
+type Config struct {
+	Channels        int // independent command channels
+	ChipsPerChannel int
+	PlanesPerChip   int
+	BlocksPerPlane  int
+	PagesPerBlock   int
+	PageSize        int // bytes
+
+	ReadLatency  vclock.Duration // flash page read (cell-to-register + transfer)
+	ProgLatency  vclock.Duration // flash page program
+	EraseLatency vclock.Duration // flash block erase
+}
+
+// DefaultConfig returns an MLC-flavoured geometry small enough for tests
+// yet deep enough to exercise GC: 4 channels × 2 chips × 1 plane ×
+// 64 blocks × 64 pages × 4 KiB = 128 MiB raw.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        4,
+		ChipsPerChannel: 2,
+		PlanesPerChip:   1,
+		BlocksPerPlane:  64,
+		PagesPerBlock:   64,
+		PageSize:        4096,
+		ReadLatency:     75 * vclock.Microsecond,
+		ProgLatency:     750 * vclock.Microsecond,
+		EraseLatency:    3800 * vclock.Microsecond,
+	}
+}
+
+// Validate checks that the geometry is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0, c.ChipsPerChannel <= 0, c.PlanesPerChip <= 0,
+		c.BlocksPerPlane <= 0, c.PagesPerBlock <= 0, c.PageSize <= 0:
+		return errors.New("flash: all geometry fields must be positive")
+	}
+	return nil
+}
+
+// Chips returns the total chip count.
+func (c Config) Chips() int { return c.Channels * c.ChipsPerChannel }
+
+// BlocksPerChip returns the number of blocks on one chip.
+func (c Config) BlocksPerChip() int { return c.PlanesPerChip * c.BlocksPerPlane }
+
+// TotalBlocks returns the number of blocks in the array.
+func (c Config) TotalBlocks() int { return c.Chips() * c.BlocksPerChip() }
+
+// TotalPages returns the number of pages in the array.
+func (c Config) TotalPages() int { return c.TotalBlocks() * c.PagesPerBlock }
+
+// TotalBytes returns the raw capacity in bytes.
+func (c Config) TotalBytes() int64 { return int64(c.TotalPages()) * int64(c.PageSize) }
+
+// Errors returned by array operations.
+// Sequential in-block programming is enforced structurally: Program appends
+// at the block's write pointer, so out-of-order programming is impossible.
+var (
+	ErrBadAddress = errors.New("flash: address out of range")
+	ErrReadFree   = errors.New("flash: read of erased page")
+	ErrBlockFull  = errors.New("flash: program to full block")
+	// ErrReadFailed models an uncorrectable (post-ECC) read error injected
+	// with FailReads; the FTL must degrade gracefully, never wedge.
+	ErrReadFailed = errors.New("flash: uncorrectable read error")
+)
+
+type page struct {
+	data []byte
+	oob  OOB
+}
+
+type block struct {
+	pages    []page
+	writePtr int // next page to program; PagesPerBlock when full
+	erases   int
+}
+
+// Stats aggregates operation counts for the lifetime of the array.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// Array is the simulated flash device.
+type Array struct {
+	cfg    Config
+	mu     sync.Mutex
+	blocks []block
+	busy   []vclock.Time // per-channel horizon
+	stats  Stats
+	failRd map[PPA]int // failure injection: remaining failures per page
+}
+
+// New builds an array with all blocks erased.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{
+		cfg:    cfg,
+		blocks: make([]block, cfg.TotalBlocks()),
+		busy:   make([]vclock.Time, cfg.Channels),
+	}
+	for i := range a.blocks {
+		a.blocks[i].pages = make([]page, cfg.PagesPerBlock)
+	}
+	return a, nil
+}
+
+// Config returns the array geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// BlockOf returns the block index containing ppa.
+func (a *Array) BlockOf(ppa PPA) int { return int(ppa) / a.cfg.PagesPerBlock }
+
+// PageOf returns the page offset of ppa within its block.
+func (a *Array) PageOf(ppa PPA) int { return int(ppa) % a.cfg.PagesPerBlock }
+
+// AddrOf composes a PPA from block index and page offset.
+func (a *Array) AddrOf(blockIdx, pageOff int) PPA {
+	return PPA(blockIdx*a.cfg.PagesPerBlock + pageOff)
+}
+
+// ChannelOfBlock returns the channel that owns blockIdx. Chips are striped
+// across channels so consecutive blocks spread over channels at chip
+// granularity.
+func (a *Array) ChannelOfBlock(blockIdx int) int {
+	chip := blockIdx / a.cfg.BlocksPerChip()
+	return chip % a.cfg.Channels
+}
+
+// ChannelOf returns the channel that owns ppa.
+func (a *Array) ChannelOf(ppa PPA) int { return a.ChannelOfBlock(a.BlockOf(ppa)) }
+
+func (a *Array) checkPPA(ppa PPA) error {
+	if int(ppa) >= a.cfg.TotalPages() {
+		return fmt.Errorf("%w: ppa %d", ErrBadAddress, ppa)
+	}
+	return nil
+}
+
+// occupy charges one operation of duration d on channel ch starting no
+// earlier than at, and returns the completion time.
+func (a *Array) occupy(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
+	start := at
+	if a.busy[ch] > start {
+		start = a.busy[ch]
+	}
+	end := start.Add(d)
+	a.busy[ch] = end
+	return end
+}
+
+// Charge occupies channel ch for an operation of duration d starting no
+// earlier than at, and returns the completion time. It models flash work
+// that the simulator does not materialise as stored pages (e.g. the FTL's
+// translation-page reads and write-backs under demand-paged mapping).
+func (a *Array) Charge(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ch < 0 || ch >= len(a.busy) {
+		ch = 0
+	}
+	return a.occupy(ch, at, d)
+}
+
+// Read returns the content and OOB of a programmed page. The returned done
+// time is when the channel finishes the operation. The returned data slice
+// aliases the array's copy; callers must not mutate it.
+func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock.Time, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err = a.checkPPA(ppa); err != nil {
+		return nil, OOB{}, at, err
+	}
+	b := &a.blocks[a.BlockOf(ppa)]
+	p := &b.pages[a.PageOf(ppa)]
+	if p.oob.Kind == KindFree {
+		return nil, OOB{}, at, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
+	}
+	a.stats.Reads++
+	done = a.occupy(a.ChannelOf(ppa), at, a.cfg.ReadLatency)
+	if n, ok := a.failRd[ppa]; ok {
+		if n == 1 {
+			delete(a.failRd, ppa)
+		} else {
+			a.failRd[ppa] = n - 1
+		}
+		return nil, OOB{}, done, fmt.Errorf("%w: ppa %d", ErrReadFailed, ppa)
+	}
+	return p.data, p.oob, done, nil
+}
+
+// FailReads arms ppa to fail its next n reads with ErrReadFailed — the
+// test hook for uncorrectable-error injection. Peek* bypasses injection.
+func (a *Array) FailReads(ppa PPA, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failRd == nil {
+		a.failRd = make(map[PPA]int)
+	}
+	if n <= 0 {
+		delete(a.failRd, ppa)
+		return
+	}
+	a.failRd[ppa] = n
+}
+
+// PeekPage returns a programmed page's content and OOB without charging
+// time or stats. Mount-time scans (firmware state rebuild) and tests use
+// it; steady-state firmware paths must use Read.
+func (a *Array) PeekPage(ppa PPA) ([]byte, OOB, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.checkPPA(ppa); err != nil {
+		return nil, OOB{}, err
+	}
+	p := &a.blocks[a.BlockOf(ppa)].pages[a.PageOf(ppa)]
+	if p.oob.Kind == KindFree {
+		return nil, OOB{}, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
+	}
+	cp := make([]byte, len(p.data))
+	copy(cp, p.data)
+	return cp, p.oob, nil
+}
+
+// PeekOOB returns a programmed page's OOB without charging time or stats.
+// It exists for consistency checkers and tests; firmware code paths must
+// use Read/ReadOOB so their cost is accounted.
+func (a *Array) PeekOOB(ppa PPA) (OOB, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.checkPPA(ppa); err != nil {
+		return OOB{}, err
+	}
+	p := &a.blocks[a.BlockOf(ppa)].pages[a.PageOf(ppa)]
+	if p.oob.Kind == KindFree {
+		return OOB{}, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
+	}
+	return p.oob, nil
+}
+
+// ReadOOB returns only the OOB of a programmed page, charged as a read.
+func (a *Array) ReadOOB(ppa PPA, at vclock.Time) (OOB, vclock.Time, error) {
+	_, oob, done, err := a.Read(ppa, at)
+	return oob, done, err
+}
+
+// Program appends data to blockIdx at its write pointer and returns the PPA
+// it landed on. Programming a full block fails with ErrBlockFull. data is
+// copied; it may be shorter than PageSize (zero-padded semantics).
+func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA, vclock.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	if len(data) > a.cfg.PageSize {
+		return NullPPA, at, fmt.Errorf("flash: payload %d exceeds page size %d", len(data), a.cfg.PageSize)
+	}
+	if oob.Kind == KindFree {
+		return NullPPA, at, errors.New("flash: programming a page requires a non-free OOB kind")
+	}
+	b := &a.blocks[blockIdx]
+	if b.writePtr >= a.cfg.PagesPerBlock {
+		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBlockFull, blockIdx)
+	}
+	p := &b.pages[b.writePtr]
+	p.data = append(p.data[:0], data...)
+	p.oob = oob
+	ppa := a.AddrOf(blockIdx, b.writePtr)
+	b.writePtr++
+	a.stats.Programs++
+	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.ProgLatency)
+	return ppa, done, nil
+}
+
+// Erase resets every page in blockIdx to free and bumps its erase count.
+func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+		return at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
+	}
+	b := &a.blocks[blockIdx]
+	for i := range b.pages {
+		b.pages[i].data = b.pages[i].data[:0]
+		b.pages[i].oob = OOB{Kind: KindFree}
+	}
+	b.writePtr = 0
+	b.erases++
+	a.stats.Erases++
+	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
+	return done, nil
+}
+
+// WritePtr returns the next page offset to be programmed in blockIdx.
+func (a *Array) WritePtr(blockIdx int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.blocks[blockIdx].writePtr
+}
+
+// EraseCount returns how many times blockIdx has been erased.
+func (a *Array) EraseCount(blockIdx int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.blocks[blockIdx].erases
+}
+
+// WearSpread returns the minimum and maximum per-block erase counts — the
+// quantity wear leveling tries to compress.
+func (a *Array) WearSpread() (min, max int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	min, max = a.blocks[0].erases, a.blocks[0].erases
+	for i := 1; i < len(a.blocks); i++ {
+		e := a.blocks[i].erases
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}
+
+// Stats returns a snapshot of the operation counters.
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ChannelBusyUntil returns the busy horizon of channel ch — the virtual
+// time at which it next becomes idle.
+func (a *Array) ChannelBusyUntil(ch int) vclock.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.busy[ch]
+}
+
+// MaxBusyUntil returns the latest busy horizon across all channels: the
+// completion time of everything issued so far.
+func (a *Array) MaxBusyUntil() vclock.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var m vclock.Time
+	for _, t := range a.busy {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

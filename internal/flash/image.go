@@ -1,0 +1,233 @@
+package flash
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"almanac/internal/vclock"
+)
+
+// Device image format: everything the flash medium physically holds —
+// geometry, per-block erase counts and write pointers, and each programmed
+// page's OOB + content. RAM-only FTL state is deliberately absent: a
+// loaded image is brought up through the firmware's rebuild path (see
+// core.Rebuild), exactly like an SSD after power loss.
+//
+// Layout (little endian):
+//
+//	magic "ALMIMG01" (8 bytes)
+//	geometry: 6×u32 (channels, chips/ch, planes, blocks/plane, pages/block, page size)
+//	latencies: 3×i64 (read, program, erase, ns)
+//	stats: 3×i64 (reads, programs, erases)
+//	per block: u32 eraseCount, u32 writePtr,
+//	  then writePtr × { u8 kind, u64 lpa, u64 backptr, i64 ts,
+//	                    u32 dataLen, data… }
+const imageMagic = "ALMIMG01"
+
+// ErrBadImage is returned when an image fails to parse.
+var ErrBadImage = errors.New("flash: bad device image")
+
+// WriteImage serialises the array. The writer is buffered internally.
+func (a *Array) WriteImage(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	u32 := func(v uint32) error {
+		le.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	i64 := func(v int64) error {
+		le.PutUint64(scratch[:], uint64(v))
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	geo := []uint32{
+		uint32(a.cfg.Channels), uint32(a.cfg.ChipsPerChannel), uint32(a.cfg.PlanesPerChip),
+		uint32(a.cfg.BlocksPerPlane), uint32(a.cfg.PagesPerBlock), uint32(a.cfg.PageSize),
+	}
+	for _, g := range geo {
+		if err := u32(g); err != nil {
+			return err
+		}
+	}
+	for _, d := range []int64{int64(a.cfg.ReadLatency), int64(a.cfg.ProgLatency), int64(a.cfg.EraseLatency)} {
+		if err := i64(d); err != nil {
+			return err
+		}
+	}
+	for _, s := range []int64{a.stats.Reads, a.stats.Programs, a.stats.Erases} {
+		if err := i64(s); err != nil {
+			return err
+		}
+	}
+	for bi := range a.blocks {
+		blk := &a.blocks[bi]
+		if err := u32(uint32(blk.erases)); err != nil {
+			return err
+		}
+		if err := u32(uint32(blk.writePtr)); err != nil {
+			return err
+		}
+		for pi := 0; pi < blk.writePtr; pi++ {
+			p := &blk.pages[pi]
+			if err := bw.WriteByte(byte(p.oob.Kind)); err != nil {
+				return err
+			}
+			if err := i64(int64(p.oob.LPA)); err != nil {
+				return err
+			}
+			if err := i64(int64(p.oob.BackPtr)); err != nil {
+				return err
+			}
+			if err := i64(int64(p.oob.TS)); err != nil {
+				return err
+			}
+			if err := u32(uint32(len(p.data))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(p.data); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage deserialises an array previously written with WriteImage.
+func ReadImage(r io.Reader) (*Array, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadImage, magic)
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(scratch[:4]), nil
+	}
+	i64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return int64(le.Uint64(scratch[:])), nil
+	}
+	var geo [6]uint32
+	for i := range geo {
+		v, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: geometry: %v", ErrBadImage, err)
+		}
+		geo[i] = v
+	}
+	cfg := Config{
+		Channels: int(geo[0]), ChipsPerChannel: int(geo[1]), PlanesPerChip: int(geo[2]),
+		BlocksPerPlane: int(geo[3]), PagesPerBlock: int(geo[4]), PageSize: int(geo[5]),
+	}
+	// Sanity-cap the geometry before allocating anything: a corrupt header
+	// must fail fast, not commit gigabytes.
+	for _, g := range geo {
+		if g == 0 || g > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible geometry field %d", ErrBadImage, g)
+		}
+	}
+	if int64(cfg.TotalPages())*int64(cfg.PageSize) > 1<<36 {
+		return nil, fmt.Errorf("%w: image claims %d bytes", ErrBadImage, cfg.TotalBytes())
+	}
+	var lat [3]int64
+	for i := range lat {
+		v, err := i64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: latencies: %v", ErrBadImage, err)
+		}
+		lat[i] = v
+	}
+	cfg.ReadLatency, cfg.ProgLatency, cfg.EraseLatency =
+		vclock.Duration(lat[0]), vclock.Duration(lat[1]), vclock.Duration(lat[2])
+	a, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	var st [3]int64
+	for i := range st {
+		v, err := i64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: stats: %v", ErrBadImage, err)
+		}
+		st[i] = v
+	}
+	a.stats = Stats{Reads: st[0], Programs: st[1], Erases: st[2]}
+
+	for bi := range a.blocks {
+		blk := &a.blocks[bi]
+		erases, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d header: %v", ErrBadImage, bi, err)
+		}
+		wp, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d header: %v", ErrBadImage, bi, err)
+		}
+		if int(wp) > cfg.PagesPerBlock {
+			return nil, fmt.Errorf("%w: block %d write pointer %d", ErrBadImage, bi, wp)
+		}
+		blk.erases = int(erases)
+		blk.writePtr = int(wp)
+		for pi := 0; pi < int(wp); pi++ {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: block %d page %d: %v", ErrBadImage, bi, pi, err)
+			}
+			if PageKind(kind) == KindFree {
+				return nil, fmt.Errorf("%w: block %d page %d marked free but programmed", ErrBadImage, bi, pi)
+			}
+			lpa, err := i64()
+			if err != nil {
+				return nil, err
+			}
+			back, err := i64()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := i64()
+			if err != nil {
+				return nil, err
+			}
+			n, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(n) > cfg.PageSize {
+				return nil, fmt.Errorf("%w: block %d page %d payload %d", ErrBadImage, bi, pi, n)
+			}
+			data := make([]byte, n)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return nil, fmt.Errorf("%w: block %d page %d data: %v", ErrBadImage, bi, pi, err)
+			}
+			blk.pages[pi] = page{
+				data: data,
+				oob: OOB{
+					Kind:    PageKind(kind),
+					LPA:     uint64(lpa),
+					BackPtr: PPA(uint64(back)),
+					TS:      vclock.Time(ts),
+				},
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,134 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"almanac/internal/vclock"
+)
+
+// populate programs a random mixture of pages and erases across the array.
+func populate(t *testing.T, a *Array) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var at vclock.Time
+	for blk := 0; blk < a.Config().TotalBlocks(); blk++ {
+		n := rng.Intn(a.Config().PagesPerBlock + 1)
+		for p := 0; p < n; p++ {
+			data := make([]byte, rng.Intn(a.Config().PageSize+1))
+			rng.Read(data)
+			oob := OOB{
+				LPA:     rng.Uint64() % 1000,
+				BackPtr: PPA(rng.Uint64() % 128),
+				TS:      vclock.Time(rng.Int63()),
+				Kind:    []PageKind{KindData, KindDelta, KindDeltaRaw}[rng.Intn(3)],
+			}
+			var err error
+			_, at, err = a.Program(blk, data, oob, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			var err error
+			at, err = a.Erase(blk, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	a := mustNew(t, tinyConfig())
+	populate(t, a)
+
+	var buf bytes.Buffer
+	if err := a.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Config() != a.Config() {
+		t.Fatalf("geometry changed: %+v vs %+v", b.Config(), a.Config())
+	}
+	if b.Stats() != a.Stats() {
+		t.Fatalf("stats changed: %+v vs %+v", b.Stats(), a.Stats())
+	}
+	for blk := 0; blk < a.Config().TotalBlocks(); blk++ {
+		if a.EraseCount(blk) != b.EraseCount(blk) {
+			t.Fatalf("block %d erase count differs", blk)
+		}
+		if a.WritePtr(blk) != b.WritePtr(blk) {
+			t.Fatalf("block %d write pointer differs", blk)
+		}
+		for off := 0; off < a.WritePtr(blk); off++ {
+			ppa := a.AddrOf(blk, off)
+			da, oa, err := a.PeekPage(ppa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, ob, err := b.PeekPage(ppa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oa != ob || !bytes.Equal(da, db) {
+				t.Fatalf("ppa %d differs after round trip", ppa)
+			}
+		}
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOTMAGIC"),
+		[]byte("ALMIMG01"), // truncated right after magic
+	}
+	for i, c := range cases {
+		if _, err := ReadImage(bytes.NewReader(c)); !errors.Is(err, ErrBadImage) {
+			t.Errorf("case %d: got %v", i, err)
+		}
+	}
+	// Corrupt a valid image's tail: must error, not panic.
+	a := mustNew(t, tinyConfig())
+	populate(t, a)
+	var buf bytes.Buffer
+	if err := a.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	if _, err := ReadImage(bytes.NewReader(img[:len(img)*2/3])); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestImageFuzzTruncations(t *testing.T) {
+	a := mustNew(t, tinyConfig())
+	populate(t, a)
+	var buf bytes.Buffer
+	if err := a.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(len(img))
+		// Truncations must fail cleanly (the full image parses, so n==len
+		// is excluded).
+		if _, err := ReadImage(bytes.NewReader(img[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Random single-byte corruptions must never panic (errors allowed, and
+	// some corruptions — e.g. in page data — are legitimately undetectable).
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), img...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		_, _ = ReadImage(bytes.NewReader(mut))
+	}
+}

@@ -1,0 +1,110 @@
+package fsim
+
+import (
+	"fmt"
+)
+
+// Fsck cross-validates the file system's structures: every file pointer
+// must reference an allocated, uniquely-owned data page inside the data
+// region; the allocation bitmap must account for exactly the referenced
+// pages; sizes must fit the pointer count; and in log-structured mode the
+// segment-clean flags must agree with the bitmap. It returns the first
+// violation found. O(files + data pages); for tests and offline checking.
+func (fs *FS) Fsck() error {
+	owned := make([]int32, len(fs.bitmap))
+	for i := range owned {
+		owned[i] = -1
+	}
+	claim := func(lpa uint64, ino uint32, what string) error {
+		if lpa < uint64(fs.sb.dataStart) || lpa >= uint64(fs.sb.dataStart)+uint64(fs.sb.dataPages) {
+			return fmt.Errorf("fsim: inode %d %s points outside the data region (lpa %d)", ino, what, lpa)
+		}
+		dp := fs.dpOf(lpa)
+		if !fs.bitmap[dp] {
+			return fmt.Errorf("fsim: inode %d %s references unallocated page %d", ino, what, dp)
+		}
+		if owned[dp] >= 0 {
+			return fmt.Errorf("fsim: data page %d referenced by inodes %d and %d", dp, owned[dp], ino)
+		}
+		owned[dp] = int32(ino)
+		return nil
+	}
+
+	ps := int64(fs.dev.PageSize())
+	for ino := range fs.inodes {
+		in := &fs.inodes[ino]
+		if !in.used {
+			continue
+		}
+		pages := int((int64(in.size) + ps - 1) / ps)
+		if pages > fs.maxFilePages() {
+			return fmt.Errorf("fsim: inode %d size %d exceeds the per-file maximum", ino, in.size)
+		}
+		for idx := 0; idx < pages; idx++ {
+			lpa := fs.getPtr(uint32(ino), idx)
+			if lpa == nullPtr {
+				continue // hole
+			}
+			if err := claim(lpa, uint32(ino), fmt.Sprintf("page %d", idx)); err != nil {
+				return err
+			}
+		}
+		// No pointers may exist beyond the file size.
+		for idx := pages; idx < fs.maxFilePages(); idx++ {
+			if fs.getPtr(uint32(ino), idx) != nullPtr {
+				return fmt.Errorf("fsim: inode %d has a pointer at page %d beyond its size %d", ino, idx, in.size)
+			}
+		}
+		if in.indirect != nullPtr {
+			if err := claim(in.indirect, uint32(ino), "indirect block"); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Directory entries must reference used inodes, uniquely.
+	seen := map[uint32]string{}
+	for name, ino := range fs.dir {
+		if int(ino) >= len(fs.inodes) || !fs.inodes[ino].used {
+			return fmt.Errorf("fsim: %q references unused inode %d", name, ino)
+		}
+		if ino == rootInode {
+			return fmt.Errorf("fsim: %q references the root directory inode", name)
+		}
+		if prev, ok := seen[ino]; ok {
+			return fmt.Errorf("fsim: inode %d reachable as both %q and %q", ino, prev, name)
+		}
+		seen[ino] = name
+	}
+
+	// The bitmap must hold exactly the owned pages, and freeData must
+	// account for the rest.
+	free := 0
+	for dp, live := range fs.bitmap {
+		if live && owned[dp] < 0 {
+			return fmt.Errorf("fsim: data page %d allocated but owned by no inode", dp)
+		}
+		if !live {
+			free++
+		}
+	}
+	if free != fs.freeData {
+		return fmt.Errorf("fsim: freeData says %d, bitmap says %d", fs.freeData, free)
+	}
+
+	// Log-structured invariants: clean segments hold no live pages.
+	if fs.sb.mode == ModeLogStructured {
+		seg := int(fs.sb.segmentPages)
+		for s, clean := range fs.segClean {
+			if !clean {
+				continue
+			}
+			for o := 0; o < seg; o++ {
+				if fs.bitmap[s*seg+o] {
+					return fmt.Errorf("fsim: clean segment %d holds live page %d", s, s*seg+o)
+				}
+			}
+		}
+	}
+	return nil
+}

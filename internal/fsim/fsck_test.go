@@ -1,0 +1,118 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"almanac/internal/vclock"
+)
+
+func TestFsckCleanFS(t *testing.T) {
+	forAllModes(t, func(t *testing.T, fs *FS) {
+		if err := fs.Fsck(); err != nil {
+			t.Fatalf("fresh fs: %v", err)
+		}
+	})
+}
+
+func TestFsckSurvivesWorkload(t *testing.T) {
+	forAllModes(t, func(t *testing.T, fs *FS) {
+		rng := rand.New(rand.NewSource(21))
+		names := []string{"a", "b", "c", "d"}
+		live := map[string]bool{}
+		at := vclock.Time(1)
+		var err error
+		maxChunk := 4 * fs.dev.PageSize()
+		for step := 0; step < 300; step++ {
+			name := names[rng.Intn(len(names))]
+			switch {
+			case !live[name]:
+				if at, err = fs.Create(name, at); err != nil {
+					t.Fatal(err)
+				}
+				live[name] = true
+			case rng.Intn(8) == 0:
+				if at, err = fs.Delete(name, at); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, name)
+			default:
+				chunk := make([]byte, 1+rng.Intn(maxChunk))
+				rng.Read(chunk)
+				if at, err = fs.Write(name, int64(rng.Intn(2*fs.dev.PageSize())), chunk, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%60 == 59 {
+				if err := fs.Fsck(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+		if err := fs.Fsck(); err != nil {
+			t.Fatal(err)
+		}
+		// And a remounted copy is equally sound.
+		m, _, err := Mount(fs.Device(), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fsck(); err != nil {
+			t.Fatalf("after remount: %v", err)
+		}
+	})
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	fs := newFS(t, ModeInPlace)
+	at, err := fs.Create("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = fs.Write("x", 0, make([]byte, 3*fs.dev.PageSize()), at); err != nil {
+		t.Fatal(err)
+	}
+	ino := fs.dir["x"]
+
+	// Dangling pointer into an unallocated page.
+	save := fs.inodes[ino].direct[1]
+	fs.bitmap[fs.dpOf(save)] = false
+	fs.freeData++
+	if err := fs.Fsck(); err == nil {
+		t.Fatal("fsck missed a dangling pointer")
+	}
+	fs.bitmap[fs.dpOf(save)] = true
+	fs.freeData--
+
+	// Double-owned page.
+	fs.inodes[ino].direct[1] = fs.inodes[ino].direct[0]
+	if err := fs.Fsck(); err == nil {
+		t.Fatal("fsck missed a doubly-owned page")
+	}
+	fs.inodes[ino].direct[1] = save
+
+	// Leaked allocation: mark a free page allocated with no owner.
+	for dp := range fs.bitmap {
+		if !fs.bitmap[dp] {
+			fs.bitmap[dp] = true
+			fs.freeData--
+			if err := fs.Fsck(); err == nil {
+				t.Fatal("fsck missed a leaked page")
+			}
+			fs.bitmap[dp] = false
+			fs.freeData++
+			break
+		}
+	}
+
+	// Directory entry to an unused inode.
+	fs.dir["ghost"] = 42
+	if err := fs.Fsck(); err == nil {
+		t.Fatal("fsck missed a dangling directory entry")
+	}
+	delete(fs.dir, "ghost")
+
+	if err := fs.Fsck(); err != nil {
+		t.Fatalf("restored fs still dirty: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package ftl
+
+import (
+	"fmt"
+
+	"almanac/internal/flash"
+)
+
+// CheckConsistency cross-validates the FTL's in-core structures against
+// each other and against the flash array. It is O(device) and meant for
+// tests and debugging assertions, not the I/O path. The first violated
+// invariant is returned.
+func (b *Base) CheckConsistency() error {
+	ps := b.P.Flash.PagesPerBlock
+	freeBlocks := 0
+	for blk := range b.Info {
+		info := &b.Info[blk]
+		valid, programmed := 0, b.Arr.WritePtr(blk)
+		for off := 0; off < ps; off++ {
+			if b.PVT[b.Arr.AddrOf(blk, off)] {
+				valid++
+			}
+		}
+		if valid != info.Valid {
+			return fmt.Errorf("ftl: block %d: PVT says %d valid pages, BST says %d", blk, valid, info.Valid)
+		}
+		switch info.State {
+		case bsFree:
+			freeBlocks++
+			if info.Fill != 0 || info.Valid != 0 || info.Invalid != 0 {
+				return fmt.Errorf("ftl: free block %d has counts %+v", blk, *info)
+			}
+			if programmed != 0 {
+				return fmt.Errorf("ftl: free block %d has %d programmed pages on flash", blk, programmed)
+			}
+		case bsActive, bsSealed:
+			if info.Fill != programmed {
+				return fmt.Errorf("ftl: block %d: BST fill %d, flash write pointer %d", blk, info.Fill, programmed)
+			}
+			if info.Valid+info.Invalid != info.Fill {
+				return fmt.Errorf("ftl: block %d: valid %d + invalid %d != fill %d",
+					blk, info.Valid, info.Invalid, info.Fill)
+			}
+			if info.State == bsSealed && info.Fill != ps {
+				return fmt.Errorf("ftl: sealed block %d only %d/%d full", blk, info.Fill, ps)
+			}
+			if info.Kind == flash.KindFree {
+				return fmt.Errorf("ftl: in-use block %d has kind free", blk)
+			}
+		default:
+			return fmt.Errorf("ftl: block %d in unknown state %d", blk, info.State)
+		}
+	}
+	if freeBlocks != b.freeCount {
+		return fmt.Errorf("ftl: free pool count %d, but %d blocks are in the free state", b.freeCount, freeBlocks)
+	}
+	// Every mapped LPA must point at a valid data page whose OOB agrees.
+	for lpa, ppa := range b.AMT {
+		if ppa == flash.NullPPA {
+			continue
+		}
+		if int(ppa) >= b.P.Flash.TotalPages() {
+			return fmt.Errorf("ftl: lpa %d maps to out-of-range ppa %d", lpa, ppa)
+		}
+		if !b.PVT[ppa] {
+			return fmt.Errorf("ftl: lpa %d maps to invalid ppa %d", lpa, ppa)
+		}
+		oob, err := b.Arr.PeekOOB(ppa)
+		if err != nil {
+			return fmt.Errorf("ftl: lpa %d maps to unreadable ppa %d: %w", lpa, ppa, err)
+		}
+		if oob.Kind != flash.KindData {
+			return fmt.Errorf("ftl: lpa %d maps to %v page %d", lpa, oob.Kind, ppa)
+		}
+		if oob.LPA != uint64(lpa) {
+			return fmt.Errorf("ftl: reverse mapping of ppa %d says lpa %d, AMT says %d", ppa, oob.LPA, lpa)
+		}
+	}
+	return nil
+}

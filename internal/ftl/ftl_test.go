@@ -1,0 +1,319 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"almanac/internal/flash"
+	"almanac/internal/vclock"
+)
+
+func tinyParams() Params {
+	fc := flash.DefaultConfig()
+	fc.Channels = 2
+	fc.ChipsPerChannel = 1
+	fc.BlocksPerPlane = 16
+	fc.PagesPerBlock = 8
+	fc.PageSize = 128
+	p := WithFlash(fc)
+	return p
+}
+
+func newRegular(t *testing.T) *Regular {
+	t.Helper()
+	r, err := NewRegular(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func pageOf(r *Regular, b byte) []byte {
+	p := make([]byte, r.PageSize())
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestLogicalCapacityExcludesOP(t *testing.T) {
+	r := newRegular(t)
+	total := r.P.Flash.TotalPages()
+	if r.LogicalPages() >= total {
+		t.Fatalf("logical %d not smaller than raw %d", r.LogicalPages(), total)
+	}
+	if r.LogicalPages() <= 0 {
+		t.Fatal("no logical capacity")
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	r := newRegular(t)
+	data, done, err := r.Read(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 100 {
+		t.Fatalf("unmapped read cost device time: %v", done)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("unwritten page not zero")
+		}
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	r := newRegular(t)
+	at, err := r.Write(3, pageOf(r, 0xaa), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := r.Read(3, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, pageOf(r, 0xaa)) {
+		t.Fatal("read back mismatch")
+	}
+}
+
+func TestOverwriteInvalidatesOld(t *testing.T) {
+	r := newRegular(t)
+	at, _ := r.Write(5, pageOf(r, 1), 0)
+	at, _ = r.Write(5, pageOf(r, 2), at)
+	data, _, _ := r.Read(5, at)
+	if data[0] != 2 {
+		t.Fatal("overwrite not visible")
+	}
+	// Exactly one invalid page exists device-wide.
+	invalid := 0
+	for i := range r.Info {
+		invalid += r.Info[i].Invalid
+	}
+	if invalid != 1 {
+		t.Fatalf("invalid pages = %d, want 1", invalid)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	r := newRegular(t)
+	at, _ := r.Write(9, pageOf(r, 7), 0)
+	at, err := r.Trim(9, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ := r.Read(9, at)
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("trimmed page still has content")
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	r := newRegular(t)
+	lpa := uint64(r.LogicalPages())
+	if _, err := r.Write(lpa, pageOf(r, 1), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := r.Read(lpa, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := r.Trim(lpa, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("trim: %v", err)
+	}
+}
+
+// TestGCReclaimsSpace drives far more write traffic than raw capacity; GC
+// must keep the device writable and mappings correct throughout.
+func TestGCReclaimsSpace(t *testing.T) {
+	r := newRegular(t)
+	rng := rand.New(rand.NewSource(1))
+	logical := r.LogicalPages() / 2 // 50% utilisation
+	model := make(map[uint64]byte)
+	var at vclock.Time
+	writes := r.P.Flash.TotalPages() * 4
+	for i := 0; i < writes; i++ {
+		lpa := uint64(rng.Intn(logical))
+		b := byte(rng.Intn(255) + 1)
+		var err error
+		at, err = r.Write(lpa, pageOf(r, b), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		model[lpa] = b
+	}
+	if r.GC.Runs == 0 {
+		t.Fatal("GC never ran despite 4x device writes")
+	}
+	for lpa, want := range model {
+		data, _, err := r.Read(lpa, at)
+		if err != nil {
+			t.Fatalf("read %d: %v", lpa, err)
+		}
+		if data[0] != want {
+			t.Fatalf("lpa %d: got %d want %d", lpa, data[0], want)
+		}
+	}
+}
+
+func TestWriteAmplificationAboveOne(t *testing.T) {
+	r := newRegular(t)
+	rng := rand.New(rand.NewSource(2))
+	logical := int(float64(r.LogicalPages()) * 0.9)
+	var at vclock.Time
+	for i := 0; i < r.P.Flash.TotalPages()*4; i++ {
+		var err error
+		at, err = r.Write(uint64(rng.Intn(logical)), pageOf(r, byte(i)), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wa := r.WriteAmplification()
+	if wa <= 1.0 {
+		t.Fatalf("write amplification %.3f under pressure, want > 1", wa)
+	}
+	if wa > 10 {
+		t.Fatalf("write amplification %.3f absurdly high", wa)
+	}
+}
+
+func TestDeviceFullWithAllValid(t *testing.T) {
+	r := newRegular(t)
+	var at vclock.Time
+	// Fill every logical page once (all data valid, nothing to reclaim),
+	// then keep writing unique pages until the FTL must give up.
+	for lpa := 0; lpa < r.LogicalPages(); lpa++ {
+		var err error
+		at, err = r.Write(uint64(lpa), pageOf(r, 1), at)
+		if err != nil {
+			if errors.Is(err, ErrDeviceFull) {
+				return // acceptable: ran out while still priming
+			}
+			t.Fatal(err)
+		}
+	}
+	// Now overwrites succeed (they create garbage to collect).
+	if _, err := r.Write(0, pageOf(r, 2), at); err != nil {
+		t.Fatalf("overwrite on full-but-garbage-free device: %v", err)
+	}
+}
+
+func TestWearLevelingBoundsSpread(t *testing.T) {
+	p := tinyParams()
+	p.WearDelta = 4
+	p.WearCheckEvery = 8
+	r, err := NewRegular(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Static cold data in half the space, hot updates in a few pages:
+	// without wear leveling the cold blocks would never be erased.
+	var at vclock.Time
+	cold := r.LogicalPages() / 2
+	for lpa := 0; lpa < cold; lpa++ {
+		at, err = r.Write(uint64(lpa), pageOf(r, 1), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < r.P.Flash.TotalPages()*8; i++ {
+		lpa := uint64(cold + rng.Intn(4))
+		at, err = r.Write(lpa, pageOf(r, byte(i)), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max := r.Arr.WearSpread()
+	if max == 0 {
+		t.Fatal("no erases happened")
+	}
+	if min == 0 {
+		t.Fatalf("wear leveling never recycled the coldest block (spread %d..%d)", min, max)
+	}
+}
+
+func TestMigratePreservesOOB(t *testing.T) {
+	r := newRegular(t)
+	var at vclock.Time
+	at, _ = r.Write(1, pageOf(r, 1), at)
+	ppa := r.AMT[1]
+	blk := r.Arr.BlockOf(ppa)
+	// Force-migrate the block holding LPA 1.
+	at, err := r.MigrateValidPages(blk, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPPA := r.AMT[1]
+	if newPPA == ppa {
+		t.Fatal("page did not move")
+	}
+	_, oob, _, err := r.Arr.Read(newPPA, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oob.LPA != 1 {
+		t.Fatalf("OOB LPA after migration: %d", oob.LPA)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	p := tinyParams()
+	p.OPRatio = -1
+	if _, err := NewRegular(p); err == nil {
+		t.Fatal("negative OP accepted")
+	}
+	p = tinyParams()
+	p.GCLowBlocks = 0
+	if _, err := NewRegular(p); err == nil {
+		t.Fatal("zero GC low watermark accepted")
+	}
+	p = tinyParams()
+	p.GCHighBlocks = p.GCLowBlocks - 1
+	if _, err := NewRegular(p); err == nil {
+		t.Fatal("inverted watermarks accepted")
+	}
+}
+
+// TestRandomisedModelCheck runs a random mixed workload against a map model
+// (property: the FTL is linearisable to a simple key-value store).
+func TestRandomisedModelCheck(t *testing.T) {
+	r := newRegular(t)
+	rng := rand.New(rand.NewSource(4))
+	logical := r.LogicalPages() * 3 / 4
+	model := make(map[uint64]byte)
+	var at vclock.Time
+	for i := 0; i < 6000; i++ {
+		lpa := uint64(rng.Intn(logical))
+		switch rng.Intn(10) {
+		case 0: // trim
+			var err error
+			at, err = r.Trim(lpa, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, lpa)
+		case 1, 2: // read
+			data, _, err := r.Read(lpa, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := model[lpa] // zero if absent
+			if data[0] != want {
+				t.Fatalf("step %d: lpa %d = %d, want %d", i, lpa, data[0], want)
+			}
+		default: // write
+			b := byte(rng.Intn(255) + 1)
+			var err error
+			at, err = r.Write(lpa, pageOf(r, b), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[lpa] = b
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package ftl
+
+import (
+	"almanac/internal/flash"
+	"almanac/internal/vclock"
+)
+
+// Regular is the conventional page-mapping SSD FTL the paper uses as the
+// baseline ("Regular SSD", §5.2): out-of-place writes, greedy GC that
+// reclaims invalid pages immediately, and cold-data-swap wear leveling.
+type Regular struct {
+	*Base
+	zero []byte
+}
+
+var _ Device = (*Regular)(nil)
+
+// NewRegular builds a regular SSD over a fresh flash array.
+func NewRegular(p Params) (*Regular, error) {
+	b, err := NewBase(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Regular{Base: b, zero: make([]byte, p.Flash.PageSize)}, nil
+}
+
+// Read returns the current version of lpa.
+func (r *Regular) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	if err := r.CheckLPA(lpa); err != nil {
+		return nil, at, err
+	}
+	at = r.TouchMapping(lpa, false, at)
+	r.HostPageReads++
+	ppa := r.AMT[lpa]
+	if ppa == flash.NullPPA {
+		return r.zero, at, nil
+	}
+	data, _, done, err := r.Arr.Read(ppa, at)
+	return data, done, err
+}
+
+// Write stores a new version of lpa and invalidates the previous one.
+func (r *Regular) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error) {
+	if err := r.CheckLPA(lpa); err != nil {
+		return at, err
+	}
+	at = r.TouchMapping(lpa, true, at)
+	at, err := r.ensureFree(at)
+	if err != nil {
+		return at, err
+	}
+	oob := flash.OOB{LPA: lpa, BackPtr: flash.NullPPA, TS: at, Kind: flash.KindData}
+	ppa, done, err := r.AppendPage(r.hostFrontier(), flash.KindData, data, oob, at)
+	if err != nil {
+		return at, err
+	}
+	r.InvalidatePPA(r.AMT[lpa])
+	r.AMT[lpa] = ppa
+	r.HostPageWrites++
+	return done, nil
+}
+
+// gcPassCost bounds the virtual cost of one GC pass: a background pass is
+// only started if the remaining idle time can absorb it, because an
+// overshooting pass would delay the request that ends the idle period.
+func GCPassCost(p Params) vclock.Duration {
+	fc := p.Flash
+	return vclock.Duration(fc.PagesPerBlock)*(fc.ReadLatency+fc.ProgLatency) + fc.EraseLatency
+}
+
+// Idle lets the device use a host-visible quiet period [now, until) for
+// background garbage collection up to the high watermark — what commodity
+// SSD firmware does so foreground writes rarely wait for reclamation.
+func (r *Regular) Idle(now, until vclock.Time) {
+	at := now
+	pass := GCPassCost(r.P)
+	for r.FreeBlocks() < r.P.GCHighBlocks && until.Sub(at) > pass {
+		done, err := r.collectOnce(at)
+		if err != nil {
+			return
+		}
+		at = done
+	}
+	if r.WearCheckDue() && r.WearImbalanced() {
+		if done, err := r.wearLevel(at, 4); err == nil {
+			at = done
+		}
+	}
+}
+
+// Trim drops the mapping for lpa; the old page becomes garbage.
+func (r *Regular) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
+	if err := r.CheckLPA(lpa); err != nil {
+		return at, err
+	}
+	at = r.TouchMapping(lpa, true, at)
+	r.TrimOps++
+	r.InvalidatePPA(r.AMT[lpa])
+	r.AMT[lpa] = flash.NullPPA
+	return at, nil
+}
+
+// ensureFree reclaims space incrementally: a write that finds the pool at
+// the low watermark pays for at most a couple of block reclamations, so GC
+// cost spreads across requests instead of landing as one long stall. Only
+// when the pool is nearly empty does GC run to the high watermark
+// unconditionally.
+func (r *Regular) ensureFree(at vclock.Time) (vclock.Time, error) {
+	if r.FreeBlocks() > r.P.GCLowBlocks {
+		return at, nil
+	}
+	passes := 0
+	for r.FreeBlocks() < r.P.GCHighBlocks {
+		emergency := r.FreeBlocks() <= 2
+		if !emergency && passes >= 2 {
+			break
+		}
+		var err error
+		at, err = r.collectOnce(at)
+		if err != nil {
+			return at, err
+		}
+		passes++
+	}
+	if r.FreeBlocks() > r.P.GCLowBlocks && r.WearCheckDue() && r.WearImbalanced() {
+		// Foreground: a single swap at most — the batch runs in idle time.
+		return r.wearLevel(at, 1)
+	}
+	return at, nil
+}
+
+// collectOnce reclaims one victim block: migrate valid pages, erase.
+func (r *Regular) collectOnce(at vclock.Time) (vclock.Time, error) {
+	victim := r.VictimBlock(nil)
+	if victim < 0 {
+		return at, ErrDeviceFull
+	}
+	r.GC.Runs++
+	var err error
+	at, err = r.MigrateValidPages(victim, at)
+	if err != nil {
+		return at, err
+	}
+	return r.EraseBlock(victim, at)
+}
+
+// wearLevel swaps the coldest block's content forward so the low-erase
+// block rejoins the pool (§3.8's cold-data swapping). The swap migrates a
+// whole block of valid data, so it only runs with pool headroom.
+func (r *Regular) wearLevel(at vclock.Time, maxSwaps int) (vclock.Time, error) {
+	for swaps := 0; swaps < maxSwaps && r.WearImbalanced(); swaps++ {
+		if r.FreeBlocks() <= r.P.GCLowBlocks {
+			return at, nil
+		}
+		cold := r.ColdBlock(nil)
+		if cold < 0 {
+			return at, nil
+		}
+		var err error
+		at, err = r.MigrateValidPages(cold, at)
+		if err != nil {
+			return at, err
+		}
+		if at, err = r.EraseBlock(cold, at); err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}

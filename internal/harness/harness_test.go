@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough that each experiment runs in
+// well under a second; the assertions below check shapes, not magnitudes.
+func tiny() Config {
+	c := Quick()
+	c.ReqPerDay = 300
+	c.Days = 3
+	c.Fig8MSRLens = []int{7, 14}
+	c.Fig8FIULens = []int{7, 14}
+	c.IOZoneOps = 150
+	c.PostMarkTxns = 80
+	c.OLTPTxns = 60
+	c.OLTPTablePages = 128
+	c.RansomScale = 0.1
+	c.Fig11Commits = 25
+	return c
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(tab.Rows[row][col], "+"), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	out := tab.Render()
+	for _, want := range []string{"T\n", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures6And7(t *testing.T) {
+	c := tiny()
+	f6, f7, err := Figures6And7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 workloads × 2 usages.
+	if len(f6.Rows) != 24 || len(f7.Rows) != 24 {
+		t.Fatalf("row counts: %d, %d", len(f6.Rows), len(f7.Rows))
+	}
+	for i := range f6.Rows {
+		reg := cell(t, f6, i, 2)
+		tsd := cell(t, f6, i, 3)
+		if reg <= 0 || tsd <= 0 {
+			t.Fatalf("fig6 row %d: non-positive response times", i)
+		}
+		// TimeSSD should be within a broad envelope of the regular SSD —
+		// the paper reports ≤12% overhead; allow simulator slack.
+		if tsd > reg*2 {
+			t.Fatalf("fig6 row %v: TimeSSD response %.3f more than doubles regular %.3f",
+				f6.Rows[i][:2], tsd, reg)
+		}
+	}
+	for i := range f7.Rows {
+		reg := cell(t, f7, i, 2)
+		tsd := cell(t, f7, i, 3)
+		if reg < 1 || tsd < 1 {
+			t.Fatalf("fig7 row %d: WA below 1", i)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	c := tiny()
+	tab, err := Figure8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (7 MSR × 2 lens + 5 FIU × 2 lens) × 2 usages.
+	want := (7*2 + 5*2) * 2
+	if len(tab.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), want)
+	}
+	for i, row := range tab.Rows {
+		ret := cell(t, tab, i, 4)
+		traceLen, _ := strconv.Atoi(row[3])
+		// The generated trace's actual span can overshoot its nominal
+		// length (randomised idle gaps), so allow 50% slack.
+		if ret <= 0 || ret > float64(traceLen)*1.5+1 {
+			t.Fatalf("row %v: retention %.1f implausible for %d-day trace", row, ret, traceLen)
+		}
+	}
+}
+
+func TestFigure9IOZoneShape(t *testing.T) {
+	tab, err := Figure9IOZone(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		f2fs, tsd := cell(t, tab, i, 2), cell(t, tab, i, 3)
+		switch row[0] {
+		case "RandomWrite":
+			// The paper's headline: TimeSSD ≈3.3× Ext4, F2FS between.
+			if tsd < 1.5 {
+				t.Fatalf("random write: TimeSSD only %.2fx Ext4", tsd)
+			}
+			if f2fs < 1.0 {
+				t.Fatalf("random write: F2FS %.2fx below Ext4", f2fs)
+			}
+		case "SeqRead", "RandomRead":
+			// Reads comparable everywhere (within ±35%).
+			for _, v := range []float64{f2fs, tsd} {
+				if v < 0.65 || v > 1.35 {
+					t.Fatalf("%s: read speedup %.2f not comparable", row[0], v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure9OLTPShape(t *testing.T) {
+	tab, err := Figure9OLTP(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		f2fs, tsd := cell(t, tab, i, 2), cell(t, tab, i, 3)
+		if tsd <= 1.0 {
+			t.Fatalf("%s: TimeSSD %.2fx not faster than Ext4 data journaling", row[0], tsd)
+		}
+		if tsd < f2fs*0.8 {
+			t.Fatalf("%s: TimeSSD %.2fx far below F2FS %.2fx", row[0], tsd, f2fs)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tab, err := Figure10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("%d families", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[4] != "true/true" {
+			t.Fatalf("%s: recovery not verified: %s", row[0], row[4])
+		}
+		fg, tsd := cell(t, tab, i, 1), cell(t, tab, i, 2)
+		if fg <= 0 || tsd <= 0 {
+			t.Fatalf("%s: non-positive recovery times", row[0])
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tab, err := Figure11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d files", len(tab.Rows))
+	}
+	// Aggregate: 4 threads must beat 1 thread overall.
+	var t1, t4 float64
+	for i := range tab.Rows {
+		t1 += cell(t, tab, i, 1)
+		t4 += cell(t, tab, i, 3)
+	}
+	if t4 >= t1 {
+		t.Fatalf("4-thread total %.1fms not faster than 1-thread %.1fms", t4, t1)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		tq := cell(t, tab, i, 1) // seconds
+		aq := cell(t, tab, i, 2) // ms
+		rb := cell(t, tab, i, 3) // ms
+		// The paper's key contrast: full-device TimeQuery is orders of
+		// magnitude slower than single-LPA queries.
+		if tq*1e3 < aq {
+			t.Fatalf("%s: TimeQuery (%.3fs) cheaper than AddrQueryAll (%.3fms)", row[0], tq, aq)
+		}
+		if aq < 0 || rb < 0 {
+			t.Fatalf("%s: negative times", row[0])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	c := tiny()
+	for _, name := range []string{"ablation-compress", "ablation-group", "ablation-th", "ablation-bound", "ablation-mapcache", "ablation-wear"} {
+		tab, err := Run(name, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) < 3 {
+			t.Fatalf("%s: only %d rows", name, len(tab.Rows))
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNamesCoverExperiments(t *testing.T) {
+	if len(Names()) != len(experiments) {
+		t.Fatalf("Names() has %d entries, experiments map %d", len(Names()), len(experiments))
+	}
+	for _, n := range Names() {
+		if _, ok := experiments[n]; !ok {
+			t.Fatalf("%q not in experiments", n)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package lzf implements an LZF-style byte compressor.
+//
+// TimeSSD compresses retained data versions with LZF because of its speed
+// (§4 of the paper, citing LibLZF). This is a from-scratch implementation of
+// the same format family: a greedy LZ77 coder with a tiny fixed hash table,
+// literal runs of up to 32 bytes, and back-references of up to 264 bytes
+// within an 8 KiB window. It favours speed over ratio, exactly the trade-off
+// a firmware compressor makes.
+//
+// Encoded stream format (identical to classic LZF):
+//
+//	ctrl < 0x20:  literal run, ctrl+1 literal bytes follow.
+//	ctrl >= 0x20: back-reference. len3 = ctrl>>5; if len3 == 7 an extension
+//	              byte follows and the match length is 7+ext+2, otherwise
+//	              len3+2. The reference offset is ((ctrl&0x1f)<<8 | low)+1
+//	              bytes back from the current output position.
+package lzf
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	hashLog   = 13
+	hashSize  = 1 << hashLog
+	maxOff    = 1 << 13 // 8192: max back-reference distance
+	maxRef    = maxOff
+	maxMatch  = 264 // 7 + 255 + 2
+	minMatch  = 3
+	maxLitRun = 32
+)
+
+// ErrCorrupt is returned by Decompress when the input is not a valid LZF
+// stream or does not fit the destination bound.
+var ErrCorrupt = errors.New("lzf: corrupt input")
+
+// ErrTooLarge is returned by Decompress when the decoded output would exceed
+// the caller-provided maximum.
+var ErrTooLarge = errors.New("lzf: output exceeds limit")
+
+func hash3(a, b, c byte) uint32 {
+	h := uint32(a)<<16 | uint32(b)<<8 | uint32(c)
+	// Fibonacci-style multiplicative hash, folded to hashLog bits.
+	return (h * 2654435761) >> (32 - hashLog)
+}
+
+// Compress appends the LZF encoding of src to dst and returns the extended
+// slice. The output of Compress on incompressible data can be slightly
+// larger than the input (worst case: one control byte per 32 literals).
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+
+	litStart := 0 // start of the pending literal run
+	i := 0
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > maxLitRun {
+				n = maxLitRun
+			}
+			dst = append(dst, byte(n-1))
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+
+	for i+minMatch <= len(src) {
+		h := hash3(src[i], src[i+1], src[i+2])
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) <= maxOff &&
+			src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2] {
+			// Extend the match.
+			mlen := minMatch
+			limit := len(src) - i
+			if limit > maxMatch {
+				limit = maxMatch
+			}
+			for mlen < limit && src[int(cand)+mlen] == src[i+mlen] {
+				mlen++
+			}
+			flushLits(i)
+			off := i - int(cand) - 1
+			l := mlen - 2
+			if l < 7 {
+				dst = append(dst, byte(l<<5)|byte(off>>8), byte(off))
+			} else {
+				dst = append(dst, byte(7<<5)|byte(off>>8), byte(l-7), byte(off))
+			}
+			// Seed the table with positions inside the match so later data
+			// can reference it; a sparse seeding keeps compression fast.
+			end := i + mlen
+			for j := i + 1; j+minMatch <= end && j+minMatch <= len(src); j += 2 {
+				table[hash3(src[j], src[j+1], src[j+2])] = int32(j)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		i++
+	}
+	flushLits(len(src))
+	return dst
+}
+
+// Decompress appends the decoding of src to dst and returns the extended
+// slice. maxOut bounds the total number of decoded bytes (not counting what
+// is already in dst); pass the known original size, or a generous cap.
+func Decompress(dst, src []byte, maxOut int) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		ctrl := src[i]
+		i++
+		if ctrl < 0x20 { // literal run
+			n := int(ctrl) + 1
+			if i+n > len(src) {
+				return dst, fmt.Errorf("%w: literal run past end", ErrCorrupt)
+			}
+			if len(dst)-base+n > maxOut {
+				return dst, ErrTooLarge
+			}
+			dst = append(dst, src[i:i+n]...)
+			i += n
+			continue
+		}
+		mlen := int(ctrl >> 5)
+		if mlen == 7 {
+			if i >= len(src) {
+				return dst, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+			}
+			mlen += int(src[i])
+			i++
+		}
+		mlen += 2
+		if i >= len(src) {
+			return dst, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		off := int(ctrl&0x1f)<<8 | int(src[i])
+		i++
+		ref := len(dst) - off - 1
+		if ref < base {
+			return dst, fmt.Errorf("%w: reference before window", ErrCorrupt)
+		}
+		if len(dst)-base+mlen > maxOut {
+			return dst, ErrTooLarge
+		}
+		// Byte-at-a-time copy: overlapping references are legal and rely on
+		// already-written output.
+		for k := 0; k < mlen; k++ {
+			dst = append(dst, dst[ref+k])
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,145 @@
+package lzf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	comp := Compress(nil, src)
+	dec, err := Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripShort(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		roundTrip(t, bytes.Repeat([]byte{'x'}, n))
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 512)
+	comp := Compress(nil, src)
+	if len(comp) >= len(src)/4 {
+		t.Fatalf("repetitive data compressed to %d of %d bytes; expected much smaller", len(comp), len(src))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripAllSame(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{0}, 4096))
+	roundTrip(t, bytes.Repeat([]byte{0xff}, 4096))
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(8192)
+		src := make([]byte, n)
+		rng.Read(src)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripLongMatches(t *testing.T) {
+	// Exercise the length-extension byte (matches > 8 bytes, up to maxMatch)
+	// and matches crossing the 8 KiB window boundary.
+	var src []byte
+	src = append(src, bytes.Repeat([]byte{'A'}, 300)...)          // long match run
+	src = append(src, make([]byte, 9000)...)                      // push past window
+	src = append(src, bytes.Repeat([]byte{'A'}, 300)...)          // far reference
+	src = append(src, []byte("the quick brown fox")...)           //
+	src = append(src, bytes.Repeat([]byte("the quick"), 1000)...) // periodic
+	roundTrip(t, src)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		dec, err := Decompress(nil, comp, len(src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStructuredRoundTrip(t *testing.T) {
+	// Structured inputs (limited alphabet) hit the match paths much more
+	// often than uniform random bytes.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6000)
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(r.Intn(4))
+		}
+		comp := Compress(nil, src)
+		dec, err := Decompress(nil, comp, len(src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	for i := 0; i < 200; i++ {
+		if !f(rng.Int63()) {
+			t.Fatalf("structured round trip failed")
+		}
+	}
+}
+
+func TestDecompressAppendsToDst(t *testing.T) {
+	src := []byte("hello hello hello hello")
+	comp := Compress(nil, src)
+	prefix := []byte("prefix-")
+	out, err := Decompress(prefix, comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, append([]byte("prefix-"), src...)) {
+		t.Fatalf("append semantics broken: %q", out)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{31},                // literal run of 32 with no data
+		{0x20 | 0x1f, 0xff}, // back-reference before window start
+		{7 << 5},            // truncated length extension
+		{1 << 5},            // truncated offset byte
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c, 1<<20); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestDecompressTooLarge(t *testing.T) {
+	src := bytes.Repeat([]byte{'z'}, 1000)
+	comp := Compress(nil, src)
+	if _, err := Decompress(nil, comp, 10); err == nil {
+		t.Fatal("expected ErrTooLarge for tight output bound")
+	}
+}
+
+func TestCompressWorstCaseBound(t *testing.T) {
+	// Incompressible data must not blow up: worst case is one control byte
+	// per 32 literals.
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	comp := Compress(nil, src)
+	bound := len(src) + (len(src)+maxLitRun-1)/maxLitRun
+	if len(comp) > bound {
+		t.Fatalf("compressed size %d exceeds worst-case bound %d", len(comp), bound)
+	}
+}

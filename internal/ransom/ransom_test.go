@@ -1,0 +1,138 @@
+package ransom
+
+import (
+	"testing"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/fsim"
+	"almanac/internal/ftl"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+// rig builds a TimeSSD + fsim + TimeKits stack big enough for an attack.
+func rig(t *testing.T, disableCompression bool) (*fsim.FS, *timekits.Kit) {
+	t.Helper()
+	fc := flash.DefaultConfig()
+	fc.Channels = 4
+	fc.ChipsPerChannel = 2
+	fc.BlocksPerPlane = 64
+	fc.PagesPerBlock = 32
+	fc.PageSize = 4096
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0
+	cfg.DisableCompression = disableCompression
+	dev, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fsim.DefaultOptions(fsim.ModeInPlace)
+	opts.InodeCount = 512
+	fs, _, err := fsim.Mkfs(dev, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, timekits.New(dev)
+}
+
+func TestFamilyByName(t *testing.T) {
+	f, err := FamilyByName("Locky")
+	if err != nil || f.Name != "Locky" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := FamilyByName("NotAFamily"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if len(Families) != 13 {
+		t.Fatalf("paper evaluates 13 families, have %d", len(Families))
+	}
+}
+
+func testFamilyRecovery(t *testing.T, fam Family, disableCompression bool) {
+	fs, kit := rig(t, disableCompression)
+	at := vclock.Time(vclock.Second)
+	victims, at, err := PlantFiles(fs, fam, 1, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let time pass so the attack window is clearly separated.
+	at = at.Add(vclock.Hour)
+	res, at, err := Attack(fs, fam, victims, 2, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesHit == 0 {
+		t.Fatal("attack encrypted nothing")
+	}
+	// The "ransom note pops up" — recovery starts.
+	at = at.Add(vclock.Minute)
+	st, _, err := Recover(kit, res, 4, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Remount {
+		t.Fatal("file system did not remount after recovery")
+	}
+	if !st.Verified {
+		t.Fatal("recovered contents do not match pre-attack state")
+	}
+	if st.RecoveryTime <= 0 || st.PagesRolledBack == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestRecoverOverwriteFamily(t *testing.T) {
+	fam, _ := FamilyByName("Petya") // encrypts in place
+	testFamilyRecovery(t, fam, false)
+}
+
+func TestRecoverDeleteFamily(t *testing.T) {
+	fam, _ := FamilyByName("Locky") // writes copies, deletes originals
+	testFamilyRecovery(t, fam, false)
+}
+
+func TestRecoverFlashGuardStyle(t *testing.T) {
+	fam, _ := FamilyByName("TeslaCrypt")
+	testFamilyRecovery(t, fam, true) // raw retention (no decompression)
+}
+
+func TestAllFamiliesSmall(t *testing.T) {
+	for _, fam := range Families {
+		fam := fam
+		fam.Files = 6 // keep the full sweep fast
+		t.Run(fam.Name, func(t *testing.T) {
+			testFamilyRecovery(t, fam, false)
+		})
+	}
+}
+
+func TestRecoveryFasterWithMoreThreads(t *testing.T) {
+	fam, _ := FamilyByName("Cerber")
+	run := func(threads int) vclock.Duration {
+		fs, kit := rig(t, false)
+		at := vclock.Time(vclock.Second)
+		victims, at, err := PlantFiles(fs, fam, 1, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(vclock.Hour)
+		res, at, err := Attack(fs, fam, victims, 2, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := Recover(kit, res, threads, at.Add(vclock.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Verified {
+			t.Fatal("recovery not verified")
+		}
+		return st.RecoveryTime
+	}
+	t1 := run(1)
+	t4 := run(4)
+	if t4 >= t1 {
+		t.Fatalf("4-thread recovery (%v) not faster than 1-thread (%v)", t4, t1)
+	}
+}

@@ -1,0 +1,55 @@
+package timekits
+
+import (
+	"errors"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+// ErrReadOnly is returned by writes to a past view.
+var ErrReadOnly = errors.New("timekits: past view is read-only")
+
+// pastDevice adapts a TimeSSD into a read-only block device whose contents
+// are the storage state as of a fixed past instant: every Read resolves
+// through VersionAt. Mounting a file system on it (fsim.Mount) browses the
+// whole tree exactly as it existed then — the paper's "roll back a storage
+// system to a previous state" (§2.2) without modifying anything.
+type pastDevice struct {
+	dev  *core.TimeSSD
+	when vclock.Time
+	zero []byte
+}
+
+var _ ftl.Device = (*pastDevice)(nil)
+
+// DeviceAt returns a read-only view of the device's state at time `when`.
+// Pages whose version at `when` has expired from the retention window read
+// as they do today or as zero, depending on what survives — callers should
+// stay within the window for faithful results.
+func (k *Kit) DeviceAt(when vclock.Time) ftl.Device {
+	return &pastDevice{dev: k.dev, when: when, zero: make([]byte, k.dev.PageSize())}
+}
+
+func (p *pastDevice) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	v, done, err := p.dev.VersionAt(lpa, p.when, at)
+	if err != nil {
+		return nil, done, err
+	}
+	if v == nil {
+		return p.zero, done, nil
+	}
+	return v.Data, done, nil
+}
+
+func (p *pastDevice) Write(uint64, []byte, vclock.Time) (vclock.Time, error) {
+	return 0, ErrReadOnly
+}
+
+func (p *pastDevice) Trim(uint64, vclock.Time) (vclock.Time, error) {
+	return 0, ErrReadOnly
+}
+
+func (p *pastDevice) LogicalPages() int { return p.dev.LogicalPages() }
+func (p *pastDevice) PageSize() int     { return p.dev.PageSize() }

@@ -1,0 +1,150 @@
+package timekits
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/fsim"
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+// TestMountFileSystemAsOfThePast is the headline integration: a file
+// system is created, evolves (edits, new files, deletions), and then the
+// entire tree is mounted read-only exactly as it stood at an earlier
+// instant — including a file that "no longer exists".
+func TestMountFileSystemAsOfThePast(t *testing.T) {
+	// fsim needs real-sized pages; build a dedicated device.
+	fc := flash.DefaultConfig()
+	fc.Channels = 2
+	fc.ChipsPerChannel = 1
+	fc.BlocksPerPlane = 32
+	fc.PagesPerBlock = 16
+	fc.PageSize = 512
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 30 * vclock.Day
+	dev, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(dev)
+	fs, at, err := fsim.Mkfs(dev, fsim.DefaultOptions(fsim.ModeInPlace), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: two files.
+	if at, err = fs.Create("report.txt", at.Add(vclock.Second)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := []byte("quarterly numbers: 42")
+	if at, err = fs.Write("report.txt", 0, v1, at); err != nil {
+		t.Fatal(err)
+	}
+	if at, err = fs.Create("doomed.txt", at); err != nil {
+		t.Fatal(err)
+	}
+	if at, err = fs.Write("doomed.txt", 0, []byte("short-lived"), at); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := at // ← the instant we will travel back to
+
+	// Epoch 2: edits and a deletion.
+	at = at.Add(vclock.Hour)
+	v2 := []byte("quarterly numbers: 7 (restated)")
+	if at, err = fs.Write("report.txt", 0, v2, at); err != nil {
+		t.Fatal(err)
+	}
+	if at, err = fs.Delete("doomed.txt", at); err != nil {
+		t.Fatal(err)
+	}
+	if at, err = fs.Create("new.txt", at); err != nil {
+		t.Fatal(err)
+	}
+	if at, err = fs.Write("new.txt", 0, []byte("born later"), at); err != nil {
+		t.Fatal(err)
+	}
+
+	// The present is the present…
+	sz, _ := fs.Size("report.txt")
+	cur, _, _ := fs.Read("report.txt", 0, int(sz), at)
+	if !bytes.Equal(cur, v2) {
+		t.Fatal("present state wrong")
+	}
+
+	// …and the past is mountable.
+	past, done, err := fsim.Mount(k.DeviceAt(snapshot), at)
+	if err != nil {
+		t.Fatalf("mounting the past: %v", err)
+	}
+	names := past.List()
+	if len(names) != 2 {
+		t.Fatalf("past tree has %v, want [doomed.txt report.txt]", names)
+	}
+	psz, err := past.Size("report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := past.Read("report.txt", 0, int(psz), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("past content %q, want %q", got, v1)
+	}
+	dsz, err := past.Size("doomed.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgot, _, err := past.Read("doomed.txt", 0, int(dsz), done)
+	if err != nil || !bytes.Equal(dgot, []byte("short-lived")) {
+		t.Fatalf("deleted file not readable in the past view: %v %q", err, dgot)
+	}
+	if _, err := past.Size("new.txt"); err == nil {
+		t.Fatal("a file from the future exists in the past")
+	}
+	// The past is immutable.
+	if _, err := past.Create("huh", done); err == nil {
+		t.Fatal("past view accepted a write")
+	}
+
+	// The present is untouched by all that browsing.
+	cur2, _, _ := fs.Read("report.txt", 0, int(sz), at)
+	if !bytes.Equal(cur2, v2) {
+		t.Fatal("past browsing disturbed the present")
+	}
+}
+
+func TestPastDeviceBasics(t *testing.T) {
+	k := newKit(t)
+	d := k.Device()
+	page := func(b byte) []byte {
+		p := make([]byte, d.PageSize())
+		p[0] = b
+		return p
+	}
+	d.Write(5, page(1), vclock.Time(vclock.Hour))
+	d.Write(5, page(2), vclock.Time(2*vclock.Hour))
+
+	pv := k.DeviceAt(vclock.Time(90 * vclock.Minute))
+	if pv.LogicalPages() != d.LogicalPages() || pv.PageSize() != d.PageSize() {
+		t.Fatal("geometry mismatch")
+	}
+	data, _, err := pv.Read(5, vclock.Time(3*vclock.Hour))
+	if err != nil || data[0] != 1 {
+		t.Fatalf("past read: %v %d", err, data[0])
+	}
+	// Unwritten-at-that-time pages read zero.
+	data, _, err = pv.Read(6, vclock.Time(3*vclock.Hour))
+	if err != nil || data[0] != 0 {
+		t.Fatalf("past read of empty page: %v", err)
+	}
+	if _, err := pv.Write(5, page(9), 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatal("write accepted")
+	}
+	if _, err := pv.Trim(5, 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatal("trim accepted")
+	}
+}

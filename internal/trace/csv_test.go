@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	reqs, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip: %d of %d requests", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestCSVAcceptsShortOpsAndComments(t *testing.T) {
+	in := strings.Join([]string{
+		"# a hand-written trace",
+		"100,W,5,2",
+		"",
+		"200,r,5,1",
+		"300,t,5,1",
+	}, "\n")
+	reqs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 || reqs[0].Op != OpWrite || reqs[1].Op != OpRead || reqs[2].Op != OpTrim {
+		t.Fatalf("parsed %+v", reqs)
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1,write,2",               // missing field
+		"x,write,2,1",             // bad timestamp
+		"1,fly,2,1",               // bad op
+		"1,write,y,1",             // bad lpa
+		"1,write,2,0",             // zero pages
+		"5,write,1,1\n2,read,1,1", // time goes backwards
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"almanac/internal/ftl"
+	"almanac/internal/vclock"
+)
+
+// IdleDevice is implemented by devices that exploit idle cycles (TimeSSD's
+// background delta compression, §3.6). The replayer announces gaps between
+// requests to such devices.
+type IdleDevice interface {
+	Idle(now, until vclock.Time)
+}
+
+// ReplayOptions tunes a replay run.
+type ReplayOptions struct {
+	// Content supplies write payloads; nil uses zero pages.
+	Content *ContentGen
+	// AnnounceIdle forwards inter-request gaps to IdleDevice implementors.
+	AnnounceIdle bool
+	// KeepLatencies retains the full per-request latency distribution
+	// (needed for percentiles; costs memory on long runs).
+	KeepLatencies bool
+	// StopOnError aborts on the first device error; otherwise errors are
+	// counted and the run continues (retention-full writes are always
+	// fatal since nothing later can succeed).
+	StopOnError bool
+}
+
+// RunStats aggregates a replay run.
+type RunStats struct {
+	Requests int
+	Reads    int
+	Writes   int
+	Trims    int
+
+	PagesRead    int64
+	PagesWritten int64
+	Errors       int
+
+	RespSum vclock.Duration
+	RespMax vclock.Duration
+
+	Start vclock.Time
+	End   vclock.Time // completion of the last request
+
+	Latencies []vclock.Duration // per-request, if KeepLatencies
+}
+
+// AvgResponse returns the mean per-request response time.
+func (s *RunStats) AvgResponse() vclock.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.RespSum / vclock.Duration(s.Requests)
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) of request latency;
+// requires KeepLatencies.
+func (s *RunStats) Percentile(p float64) vclock.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]vclock.Duration(nil), s.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Throughput returns requests per virtual second over the span of the run.
+func (s *RunStats) Throughput() float64 {
+	span := s.End.Sub(s.Start)
+	if span <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / span.Seconds()
+}
+
+// Replay drives the request stream against dev and returns statistics.
+// Requests are issued at their trace arrival times; response time is the
+// completion of a request's last page operation minus its arrival.
+func Replay(dev ftl.Device, reqs []Request, opts ReplayOptions) (*RunStats, error) {
+	st := &RunStats{}
+	if len(reqs) == 0 {
+		return st, nil
+	}
+	st.Start = reqs[0].At
+	idleDev, _ := dev.(IdleDevice)
+	logical := uint64(dev.LogicalPages())
+	prevDone := reqs[0].At
+
+	for i := range reqs {
+		r := &reqs[i]
+		if opts.AnnounceIdle && idleDev != nil && r.At.After(prevDone) {
+			idleDev.Idle(prevDone, r.At)
+		}
+		arrival := r.At
+		done := arrival
+		var err error
+		switch r.Op {
+		case OpRead:
+			st.Reads++
+			// Pages of one read fan out concurrently; the request
+			// completes when the slowest page returns.
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				_, d, e := dev.Read(lpa, arrival)
+				if e != nil {
+					err = e
+					break
+				}
+				if d > done {
+					done = d
+				}
+				st.PagesRead++
+			}
+		case OpWrite:
+			st.Writes++
+			// Pages of one request are all in flight at arrival (queue
+			// depth > 1); the per-channel busy horizons serialise what
+			// actually contends. The request completes with its last page.
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				var payload []byte
+				if opts.Content != nil {
+					payload = opts.Content.NextVersion(lpa)
+				} else {
+					payload = make([]byte, dev.PageSize())
+				}
+				var d vclock.Time
+				d, err = dev.Write(lpa, payload, arrival)
+				if err != nil {
+					break
+				}
+				if d > done {
+					done = d
+				}
+				st.PagesWritten++
+			}
+		case OpTrim:
+			st.Trims++
+			at := arrival
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				at, err = dev.Trim(lpa, at)
+				if err != nil {
+					break
+				}
+			}
+			done = at
+		default:
+			return st, fmt.Errorf("trace: unknown op %v", r.Op)
+		}
+		st.Requests++
+		if err != nil {
+			st.Errors++
+			if opts.StopOnError || isFatal(err) {
+				return st, fmt.Errorf("request %d (%v lpa=%d): %w", i, r.Op, r.LPA, err)
+			}
+		}
+		if done.Before(arrival) {
+			done = arrival
+		}
+		resp := done.Sub(arrival)
+		st.RespSum += resp
+		if resp > st.RespMax {
+			st.RespMax = resp
+		}
+		if opts.KeepLatencies {
+			st.Latencies = append(st.Latencies, resp)
+		}
+		if done.After(st.End) {
+			st.End = done
+		}
+		prevDone = done
+	}
+	return st, nil
+}
+
+func isFatal(err error) bool {
+	return errors.Is(err, ftl.ErrDeviceFull)
+}
+
+// Fill primes a device by writing every page of [0, footprint) once, at
+// tightly spaced timestamps starting at `at`. It returns the completion
+// time. The paper warms the SSD before each experiment so GC is active.
+func Fill(dev ftl.Device, footprint uint64, gen *ContentGen, at vclock.Time) (vclock.Time, error) {
+	for lpa := uint64(0); lpa < footprint; lpa++ {
+		var payload []byte
+		if gen != nil {
+			payload = gen.NextVersion(lpa)
+		} else {
+			payload = make([]byte, dev.PageSize())
+		}
+		done, err := dev.Write(lpa, payload, at)
+		if err != nil {
+			return at, fmt.Errorf("fill lpa %d: %w", lpa, err)
+		}
+		at = done
+	}
+	return at, nil
+}

@@ -1,0 +1,94 @@
+// Package vclock provides the discrete virtual clock used by the flash
+// simulator and everything above it.
+//
+// All latencies in the simulated device are charged against virtual time, so
+// an experiment that spans eight weeks of device time completes in seconds of
+// wall time. Virtual time is a simple monotonic nanosecond counter; there is
+// deliberately no connection to the host clock.
+package vclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely to
+// and from time.Duration, which has the same representation.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience at call sites that only
+// import vclock.
+const (
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+	Hour        = time.Hour
+	Day         = 24 * time.Hour
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Days returns t expressed in (fractional) virtual days since the epoch.
+func (t Time) Days() float64 { return float64(t) / float64(Day) }
+
+// String renders the time as d:hh:mm:ss.mmm for readable logs.
+func (t Time) String() string {
+	d := time.Duration(t)
+	days := d / Day
+	d -= days * Day
+	h := d / time.Hour
+	d -= h * time.Hour
+	m := d / time.Minute
+	d -= m * time.Minute
+	s := d / time.Second
+	d -= s * time.Second
+	ms := d / time.Millisecond
+	return fmt.Sprintf("%dd%02dh%02dm%02d.%03ds", days, h, m, s, ms)
+}
+
+// Clock is a monotonic virtual clock. Advancing it never moves backwards:
+// attempts to set an earlier time are ignored, which makes it safe to merge
+// timelines from independently progressing components (host arrivals vs.
+// device completions).
+type Clock struct {
+	now Time
+}
+
+// New returns a clock positioned at the epoch.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// AdvanceTo moves the clock forward to t. If t is in the past the clock is
+// unchanged. It returns the (possibly unchanged) current time.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Advance moves the clock forward by d (d must be non-negative; negative
+// durations are ignored) and returns the new time.
+func (c *Clock) Advance(d Duration) Time {
+	if d > 0 {
+		c.now += Time(d)
+	}
+	return c.now
+}
