@@ -223,6 +223,24 @@ func BenchmarkAblationWear(b *testing.B) {
 	}
 }
 
+func BenchmarkArrayScaling(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.ArrayScaling(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: device-parallelism speedup of the 4-shard array over a
+		// single device under constant per-shard pressure (the weak row).
+		for _, row := range tab.Rows {
+			if row[0] == "weak" && row[1] == "4" {
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+				b.ReportMetric(v, "4shard-speedup")
+			}
+		}
+	}
+}
+
 // --- Micro-benchmarks -----------------------------------------------------
 
 func benchPage(seed int64, n int) []byte {

@@ -1,9 +1,21 @@
-// Command almanacd serves a simulated TimeSSD over TCP using the Project
-// Almanac command protocol (the NVMe-wrapped TimeKits interface of §4).
-// Any number of clients can connect; they share the one device, like
-// processes sharing a block device.
+// Command almanacd serves a simulated TimeSSD — or a sharded array of
+// them — over TCP using the Project Almanac command protocol (the
+// NVMe-wrapped TimeKits interface of §4). Any number of clients can
+// connect; they share the device(s), like processes sharing a block
+// device.
 //
 //	almanacd -listen 127.0.0.1:9521 -channels 8 -blocks 64 -pagesize 4096
+//	almanacd -shards 4                       # 4-way striped array
+//
+// With -shards N > 1 the logical address space is striped page-wise
+// across N identical TimeSSDs, each with its own worker, so commands to
+// different shards execute in parallel (see internal/array). The flag
+// geometry describes ONE shard; the exported capacity is N shards' worth.
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// completes every in-flight frame, and only then saves the image(s) — one
+// file per shard (`img.shard0` … `img.shardN-1`; a single device keeps
+// the plain path).
 //
 // Clients use internal/almaproto.Dial; see examples/remote-timekits.
 package main
@@ -19,6 +31,7 @@ import (
 	"syscall"
 
 	"almanac/internal/almaproto"
+	"almanac/internal/array"
 	"almanac/internal/core"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
@@ -27,14 +40,19 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9521", "TCP address to listen on")
-	channels := flag.Int("channels", 4, "flash channels")
+	shards := flag.Int("shards", 1, "TimeSSD shards in the array (flag geometry is per shard)")
+	channels := flag.Int("channels", 4, "flash channels per shard")
 	chips := flag.Int("chips", 2, "chips per channel")
 	blocks := flag.Int("blocks", 64, "blocks per plane")
 	pages := flag.Int("pages", 32, "pages per block")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	minRetention := flag.Duration("minretention", 0, "guaranteed retention lower bound (virtual)")
-	image := flag.String("image", "", "device image file: loaded on start (via firmware rebuild) and saved on SIGINT/SIGTERM")
+	image := flag.String("image", "", "device image path: loaded on start (via firmware rebuild) and saved after graceful drain; arrays use one file per shard (path.shardK)")
 	flag.Parse()
+
+	if *shards < 1 {
+		log.Fatalf("almanacd: -shards must be at least 1, got %d", *shards)
+	}
 
 	fc := flash.DefaultConfig()
 	fc.Channels = *channels
@@ -46,37 +64,116 @@ func main() {
 	cfg := core.DefaultConfig(ftl.WithFlash(fc))
 	cfg.MinRetention = vclock.Duration(*minRetention)
 
-	dev, err := openDevice(cfg, *image)
-	if err != nil {
+	if err := checkImageSet(*image, *shards); err != nil {
 		log.Fatal(err)
+	}
+	devs := make([]*core.TimeSSD, *shards)
+	for i := range devs {
+		dev, err := openDevice(cfg, shardImagePath(*image, *shards, i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		devs[i] = dev
+	}
+	var srv *almaproto.Server
+	var arr *array.Array
+	logical := devs[0].LogicalPages() * *shards
+	if *shards == 1 {
+		// A one-shard deployment keeps the single-device firmware model:
+		// one command interpreter, one device lock.
+		srv = almaproto.NewServer(devs[0])
+	} else {
+		var err error
+		arr, err = array.Assemble(devs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = almaproto.NewArrayServer(arr)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("almanacd: serving a %d MiB TimeSSD (%d channels, %d logical pages) on %s\n",
-		dev.Config().FTL.Flash.TotalBytes()>>20, dev.Config().FTL.Flash.Channels,
-		dev.LogicalPages(), ln.Addr())
-	srv := almaproto.NewServer(dev)
+	perShard := devs[0].Config().FTL.Flash
+	fmt.Printf("almanacd: serving a %d MiB TimeSSD array (%d shard(s) × %d channels, %d logical pages) on %s\n",
+		int64(*shards)*perShard.TotalBytes()>>20, *shards, perShard.Channels,
+		logical, ln.Addr())
 
-	if *image != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			srv.Close() // Serve drains in-flight connections and returns
-		}()
-	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("almanacd: draining (in-flight frames complete, then images are saved)")
+		// Shutdown returns only when every connection has finished its
+		// current frame, so the image save below cannot race a dispatch.
+		srv.Shutdown()
+	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Print(err)
 	}
-	if *image != "" {
-		if err := saveDevice(dev, *image); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("almanacd: device image saved to %s\n", *image)
+	if arr != nil {
+		arr.Close() // park the workers before touching the devices directly
 	}
+	if *image != "" {
+		for i, dev := range devs {
+			path := shardImagePath(*image, *shards, i)
+			if err := saveDevice(dev, path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("almanacd: device image saved to %s\n", path)
+		}
+	}
+}
+
+// checkImageSet refuses shard counts that disagree with an existing image
+// set: striping is lpa mod N, so loading a set saved under a different N
+// would silently scramble the address space. Flash images carry no stripe
+// metadata (they describe one device's medium), so the file layout is the
+// only record of N.
+func checkImageSet(image string, shards int) error {
+	if image == "" {
+		return nil
+	}
+	exists := func(p string) bool {
+		_, err := os.Stat(p)
+		return err == nil
+	}
+	if shards == 1 {
+		if exists(image + ".shard0") {
+			return fmt.Errorf("almanacd: %s.shard0 exists: this image set was saved by a sharded array; run with the matching -shards", image)
+		}
+		return nil
+	}
+	if exists(image) {
+		return fmt.Errorf("almanacd: %s exists: this image was saved by a single device; run with -shards 1", image)
+	}
+	if exists(fmt.Sprintf("%s.shard%d", image, shards)) {
+		return fmt.Errorf("almanacd: %s.shard%d exists: this image set was saved with more than %d shards", image, shards, shards)
+	}
+	// All-or-nothing: a partial set would mix rebuilt and fresh stripes.
+	loaded := 0
+	for i := 0; i < shards; i++ {
+		if exists(shardImagePath(image, shards, i)) {
+			loaded++
+		}
+	}
+	if loaded != 0 && loaded != shards {
+		return fmt.Errorf("almanacd: image set is incomplete (%d of %d shard files exist)", loaded, shards)
+	}
+	return nil
+}
+
+// shardImagePath names shard i's image file. Single-device deployments
+// keep the plain path for compatibility with pre-array images.
+func shardImagePath(image string, shards, i int) string {
+	if image == "" {
+		return ""
+	}
+	if shards == 1 {
+		return image
+	}
+	return fmt.Sprintf("%s.shard%d", image, i)
 }
 
 // openDevice loads the image (bringing the device up through the firmware

@@ -1,0 +1,229 @@
+package almaproto
+
+import (
+	"sync"
+
+	"almanac/internal/array"
+	"almanac/internal/core"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+// Backend is what the server dispatches onto: a single TimeSSD (wrapped in
+// a device-wide lock, the firmware's single command interpreter) or a
+// sharded array (internally synchronised per shard; see the locking notes
+// in server.go). Each implementation owns its own synchronisation —
+// dispatch holds no lock of its own.
+type Backend interface {
+	Identify() Identity
+	Stats() DeviceStats
+
+	Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error)
+	Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error)
+	Trim(lpa uint64, at vclock.Time) (vclock.Time, error)
+
+	AddrQuery(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error)
+	AddrQueryRange(addr uint64, cnt int, t1, t2, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error)
+	AddrQueryAll(addr uint64, cnt int, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error)
+
+	TimeQuery(t, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error)
+	TimeQueryRange(t1, t2, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error)
+	TimeQueryAll(at vclock.Time) (timekits.Result[[]core.UpdateRecord], error)
+
+	RollBack(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[int], error)
+	RollBackAll(t, at vclock.Time) (timekits.Result[int], error)
+	RollBackParallel(lpas []uint64, threads int, t, at vclock.Time) (timekits.Result[int], error)
+}
+
+// deviceBackend serves one TimeSSD. The device model is a single firmware
+// command interpreter, so every command — including Identify and Stats,
+// which read mutable device state — serialises on one mutex.
+type deviceBackend struct {
+	mu  sync.Mutex
+	dev *core.TimeSSD
+	kit *timekits.Kit
+}
+
+func newDeviceBackend(dev *core.TimeSSD) *deviceBackend {
+	return &deviceBackend{dev: dev, kit: timekits.New(dev)}
+}
+
+func (b *deviceBackend) Identify() Identity {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Identity{
+		PageSize:     b.dev.PageSize(),
+		LogicalPages: b.dev.LogicalPages(),
+		Channels:     b.dev.Config().FTL.Flash.Channels,
+		Shards:       1,
+		WindowStart:  b.dev.RetentionWindowStart(),
+	}
+}
+
+func (b *deviceBackend) Stats() DeviceStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs := b.dev.Arr.Stats()
+	ts := b.dev.TimeStats()
+	return DeviceStats{
+		HostPageWrites: b.dev.HostPageWrites,
+		HostPageReads:  b.dev.HostPageReads,
+		FlashPrograms:  fs.Programs,
+		FlashReads:     fs.Reads,
+		FlashErases:    fs.Erases,
+		DeltasCreated:  ts.DeltasCreated,
+		WindowDrops:    ts.WindowDrops,
+	}
+}
+
+func (b *deviceBackend) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dev.Read(lpa, at)
+}
+
+func (b *deviceBackend) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dev.Write(lpa, data, at)
+}
+
+func (b *deviceBackend) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dev.Trim(lpa, at)
+}
+
+func (b *deviceBackend) AddrQuery(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.AddrQuery(addr, cnt, t, at)
+}
+
+func (b *deviceBackend) AddrQueryRange(addr uint64, cnt int, t1, t2, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.AddrQueryRange(addr, cnt, t1, t2, at)
+}
+
+func (b *deviceBackend) AddrQueryAll(addr uint64, cnt int, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.AddrQueryAll(addr, cnt, at)
+}
+
+func (b *deviceBackend) TimeQuery(t, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.TimeQuery(t, at)
+}
+
+func (b *deviceBackend) TimeQueryRange(t1, t2, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.TimeQueryRange(t1, t2, at)
+}
+
+func (b *deviceBackend) TimeQueryAll(at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.TimeQueryAll(at)
+}
+
+func (b *deviceBackend) RollBack(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[int], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.RollBack(addr, cnt, t, at)
+}
+
+func (b *deviceBackend) RollBackAll(t, at vclock.Time) (timekits.Result[int], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.RollBackAll(t, at)
+}
+
+func (b *deviceBackend) RollBackParallel(lpas []uint64, threads int, t, at vclock.Time) (timekits.Result[int], error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.kit.RollBackParallel(lpas, threads, t, at)
+}
+
+// arrayBackend serves a sharded array. It adds no locking: the array
+// routes every command through per-shard worker queues, so commands to
+// different shards run in parallel and Identify/Stats are lock-free
+// snapshot reads that never queue behind long queries.
+type arrayBackend struct {
+	arr *array.Array
+}
+
+func (b *arrayBackend) Identify() Identity {
+	return Identity{
+		PageSize:     b.arr.PageSize(),
+		LogicalPages: b.arr.LogicalPages(),
+		// Total flash channels the host can drive concurrently.
+		Channels:    b.arr.Shards() * b.arr.ShardConfig().FTL.Flash.Channels,
+		Shards:      b.arr.Shards(),
+		WindowStart: b.arr.RetentionWindowStart(),
+	}
+}
+
+func (b *arrayBackend) Stats() DeviceStats {
+	st := b.arr.StatsView()
+	return DeviceStats{
+		HostPageWrites: st.HostPageWrites,
+		HostPageReads:  st.HostPageReads,
+		FlashPrograms:  st.FlashPrograms,
+		FlashReads:     st.FlashReads,
+		FlashErases:    st.FlashErases,
+		DeltasCreated:  st.Time.DeltasCreated,
+		WindowDrops:    st.Time.WindowDrops,
+	}
+}
+
+func (b *arrayBackend) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	return b.arr.Read(lpa, at)
+}
+
+func (b *arrayBackend) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error) {
+	return b.arr.Write(lpa, data, at)
+}
+
+func (b *arrayBackend) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
+	return b.arr.Trim(lpa, at)
+}
+
+func (b *arrayBackend) AddrQuery(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	return b.arr.AddrQuery(addr, cnt, t, at)
+}
+
+func (b *arrayBackend) AddrQueryRange(addr uint64, cnt int, t1, t2, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	return b.arr.AddrQueryRange(addr, cnt, t1, t2, at)
+}
+
+func (b *arrayBackend) AddrQueryAll(addr uint64, cnt int, at vclock.Time) (timekits.Result[[]timekits.PageVersions], error) {
+	return b.arr.AddrQueryAll(addr, cnt, at)
+}
+
+func (b *arrayBackend) TimeQuery(t, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	return b.arr.TimeQuery(t, at)
+}
+
+func (b *arrayBackend) TimeQueryRange(t1, t2, at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	return b.arr.TimeQueryRange(t1, t2, at)
+}
+
+func (b *arrayBackend) TimeQueryAll(at vclock.Time) (timekits.Result[[]core.UpdateRecord], error) {
+	return b.arr.TimeQueryAll(at)
+}
+
+func (b *arrayBackend) RollBack(addr uint64, cnt int, t, at vclock.Time) (timekits.Result[int], error) {
+	return b.arr.RollBack(addr, cnt, t, at)
+}
+
+func (b *arrayBackend) RollBackAll(t, at vclock.Time) (timekits.Result[int], error) {
+	return b.arr.RollBackAll(t, at)
+}
+
+func (b *arrayBackend) RollBackParallel(lpas []uint64, threads int, t, at vclock.Time) (timekits.Result[int], error) {
+	return b.arr.RollBackParallel(lpas, threads, t, at)
+}

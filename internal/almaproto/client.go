@@ -67,6 +67,7 @@ func (c *Client) Identify() (Identity, error) {
 		PageSize:     int(d.u32()),
 		LogicalPages: int(d.u64()),
 		Channels:     int(d.u32()),
+		Shards:       int(d.u32()),
 		WindowStart:  d.time(),
 	}
 	return id, d.err
@@ -198,6 +199,21 @@ func (c *Client) RollBack(addr uint64, cnt int, t, at vclock.Time) (int, vclock.
 	e := request(OpRollBack)
 	e.u64(addr)
 	e.u32(uint32(cnt))
+	e.time(t)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return 0, at, err
+	}
+	done := d.time()
+	changed := int(d.u32())
+	return changed, done, d.err
+}
+
+// RollBackAll reverts every LPA with retrievable state to its version at
+// time t — on an array server, every shard travels to the same instant.
+func (c *Client) RollBackAll(t, at vclock.Time) (int, vclock.Time, error) {
+	e := request(OpRollBackAll)
 	e.time(t)
 	e.time(at)
 	d, err := c.roundTrip(e.b)

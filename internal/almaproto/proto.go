@@ -44,6 +44,9 @@ const (
 	OpRollBack
 	OpRollBackParallel
 	OpStats
+	// OpRollBackAll was added with the array protocol revision; it sits
+	// after OpStats so every pre-existing opcode keeps its value.
+	OpRollBackAll
 )
 
 func (o Op) String() string {
@@ -52,6 +55,7 @@ func (o Op) String() string {
 		OpAddrQuery: "AddrQuery", OpAddrQueryRange: "AddrQueryRange", OpAddrQueryAll: "AddrQueryAll",
 		OpTimeQuery: "TimeQuery", OpTimeQueryRange: "TimeQueryRange", OpTimeQueryAll: "TimeQueryAll",
 		OpRollBack: "RollBack", OpRollBackParallel: "RollBackParallel", OpStats: "Stats",
+		OpRollBackAll: "RollBackAll",
 	}
 	if n, ok := names[o]; ok {
 		return n
@@ -237,11 +241,15 @@ func decRecords(d *dec) []core.UpdateRecord {
 	return out
 }
 
-// Identity describes the device to the host.
+// Identity describes the device to the host. Shards advertises the
+// backing topology (1 for a single device, N for an array); Channels is
+// the total flash channel count across all shards — the device-internal
+// parallelism TimeKits callers can exploit.
 type Identity struct {
 	PageSize     int
 	LogicalPages int
 	Channels     int
+	Shards       int
 	WindowStart  vclock.Time
 }
 

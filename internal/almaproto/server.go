@@ -5,31 +5,54 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"almanac/internal/array"
 	"almanac/internal/core"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
 
-// Server exposes one TimeSSD over the command protocol. Connections are
-// handled concurrently; commands serialise on the device mutex (the
-// firmware's single command interpreter, §4).
+// Server exposes one Backend — a single TimeSSD or a sharded array — over
+// the command protocol.
+//
+// Locking model: dispatch itself holds no lock; synchronisation belongs to
+// the backend.
+//
+//   - Single device (NewServer): the simulated firmware has one command
+//     interpreter, so the deviceBackend serialises every command on one
+//     device mutex. A long TimeQueryAll therefore still delays other
+//     connections — exactly as it would on the paper's board, where the
+//     full-device query occupies the firmware for minutes (§3.9).
+//   - Array (NewArrayServer): commands are routed to per-shard worker
+//     queues, so operations on different shards proceed in parallel and a
+//     long query only delays commands that need the same shards. Identify
+//     and Stats read lock-free per-shard snapshots and never queue at all.
+//
+// Connections are handled concurrently in either case; the protocol layer
+// (framing, decode, encode) is lock-free throughout.
 type Server struct {
-	dev *core.TimeSSD
-	kit *timekits.Kit
-	mu  sync.Mutex
+	backend Backend
 
-	lnMu sync.Mutex
-	ln   net.Listener
-	wg   sync.WaitGroup
+	lnMu     sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
 }
 
-// NewServer wraps a device.
+// NewServer wraps a single device behind the device-wide firmware lock.
 func NewServer(dev *core.TimeSSD) *Server {
-	return &Server{dev: dev, kit: timekits.New(dev)}
+	return &Server{backend: newDeviceBackend(dev), conns: make(map[net.Conn]struct{})}
 }
 
-// Serve accepts connections on ln until Close. It blocks.
+// NewArrayServer wraps a sharded array; commands dispatch concurrently
+// onto per-shard workers.
+func NewArrayServer(arr *array.Array) *Server {
+	return &Server{backend: &arrayBackend{arr: arr}, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close or Shutdown. It blocks.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
@@ -40,10 +63,23 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.wg.Wait()
 			return err
 		}
+		s.lnMu.Lock()
+		if s.draining {
+			s.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+				conn.Close()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -59,11 +95,33 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains gracefully: it stops accepting, lets every in-flight
+// frame finish (response written), then unblocks connections idling in a
+// read. Commands never race the caller's post-Shutdown work (such as
+// saving a device image) — a frame either completed before Shutdown
+// returned or was never read.
+func (s *Server) Shutdown() error {
+	s.lnMu.Lock()
+	s.draining = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	// An expired read deadline makes the *next* readFrame fail without
+	// affecting a dispatch already in progress or its response write.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken peer
+			return // EOF, broken peer, or drain deadline
 		}
 		resp := s.dispatch(body)
 		if err := writeFrame(conn, resp); err != nil {
@@ -88,22 +146,23 @@ func (s *Server) dispatch(body []byte) []byte {
 	e := &enc{}
 	e.u8(0) // OK; overwritten by fail on error
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	b := s.backend
 
 	switch op {
 	case OpIdentify:
-		e.u32(uint32(s.dev.PageSize()))
-		e.u64(uint64(s.dev.LogicalPages()))
-		e.u32(uint32(s.dev.Config().FTL.Flash.Channels))
-		e.time(s.dev.RetentionWindowStart())
+		id := b.Identify()
+		e.u32(uint32(id.PageSize))
+		e.u64(uint64(id.LogicalPages))
+		e.u32(uint32(id.Channels))
+		e.u32(uint32(id.Shards))
+		e.time(id.WindowStart)
 
 	case OpRead:
 		lpa, at := d.u64(), d.time()
 		if d.err != nil {
 			return fail(d.err)
 		}
-		data, done, err := s.dev.Read(lpa, at)
+		data, done, err := b.Read(lpa, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -115,7 +174,7 @@ func (s *Server) dispatch(body []byte) []byte {
 		if d.err != nil {
 			return fail(d.err)
 		}
-		done, err := s.dev.Write(lpa, data, at)
+		done, err := b.Write(lpa, data, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -126,7 +185,7 @@ func (s *Server) dispatch(body []byte) []byte {
 		if d.err != nil {
 			return fail(d.err)
 		}
-		done, err := s.dev.Trim(lpa, at)
+		done, err := b.Trim(lpa, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -149,11 +208,11 @@ func (s *Server) dispatch(body []byte) []byte {
 		var err error
 		switch op {
 		case OpAddrQuery:
-			res, err = s.kit.AddrQuery(addr, cnt, t1, at)
+			res, err = b.AddrQuery(addr, cnt, t1, at)
 		case OpAddrQueryRange:
-			res, err = s.kit.AddrQueryRange(addr, cnt, t1, t2, at)
+			res, err = b.AddrQueryRange(addr, cnt, t1, t2, at)
 		default:
-			res, err = s.kit.AddrQueryAll(addr, cnt, at)
+			res, err = b.AddrQueryAll(addr, cnt, at)
 		}
 		if err != nil {
 			return fail(err)
@@ -181,11 +240,11 @@ func (s *Server) dispatch(body []byte) []byte {
 		var err error
 		switch op {
 		case OpTimeQuery:
-			res, err = s.kit.TimeQuery(t1, at)
+			res, err = b.TimeQuery(t1, at)
 		case OpTimeQueryRange:
-			res, err = s.kit.TimeQueryRange(t1, t2, at)
+			res, err = b.TimeQueryRange(t1, t2, at)
 		default:
-			res, err = s.kit.TimeQueryAll(at)
+			res, err = b.TimeQueryAll(at)
 		}
 		if err != nil {
 			return fail(err)
@@ -198,7 +257,19 @@ func (s *Server) dispatch(body []byte) []byte {
 		if d.err != nil {
 			return fail(d.err)
 		}
-		res, err := s.kit.RollBack(addr, cnt, t, at)
+		res, err := b.RollBack(addr, cnt, t, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		e.u32(uint32(res.Value))
+
+	case OpRollBackAll:
+		t, at := d.time(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		res, err := b.RollBackAll(t, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -218,7 +289,7 @@ func (s *Server) dispatch(body []byte) []byte {
 		if d.err != nil {
 			return fail(d.err)
 		}
-		res, err := s.kit.RollBackParallel(lpas, threads, t, at)
+		res, err := b.RollBackParallel(lpas, threads, t, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -226,15 +297,14 @@ func (s *Server) dispatch(body []byte) []byte {
 		e.u32(uint32(res.Value))
 
 	case OpStats:
-		fs := s.dev.Arr.Stats()
-		ts := s.dev.TimeStats()
-		e.i64(s.dev.HostPageWrites)
-		e.i64(s.dev.HostPageReads)
-		e.i64(fs.Programs)
-		e.i64(fs.Reads)
-		e.i64(fs.Erases)
-		e.i64(ts.DeltasCreated)
-		e.i64(ts.WindowDrops)
+		st := b.Stats()
+		e.i64(st.HostPageWrites)
+		e.i64(st.HostPageReads)
+		e.i64(st.FlashPrograms)
+		e.i64(st.FlashReads)
+		e.i64(st.FlashErases)
+		e.i64(st.DeltasCreated)
+		e.i64(st.WindowDrops)
 
 	default:
 		return fail(fmt.Errorf("almaproto: unknown opcode %d", body[0]))

@@ -1,0 +1,477 @@
+// Package array scales TimeSSD horizontally: an Array stripes the logical
+// address space across N independent TimeSSD shards, each owned by a
+// dedicated worker goroutine fed by a buffered submission queue — the
+// host-side analogue of an NVMe submission/completion queue pair per
+// device. Reads, writes, trims and TimeKits calls that land on different
+// shards proceed in true parallel on the host, while each shard keeps the
+// single-threaded firmware model the simulator assumes.
+//
+// Time travel is preserved across the array: version timestamps are host
+// issue times (DESIGN.md §4a.6), which every shard shares, so one virtual
+// timestamp names a consistent cross-shard point in time. Array-level
+// TimeKits (kits.go) fan queries and rollbacks out across shards and merge
+// the results; the retrievable window of the array is the intersection of
+// the per-shard windows.
+//
+// Concurrency model: a shard's TimeSSD is touched only by its worker
+// goroutine — there are no device locks at all. Every operation, including
+// queries (which charge flash reads and therefore mutate channel timing
+// state), travels through the shard's queue. The only shared mutable state
+// outside the queues is each shard's stats snapshot, republished by the
+// worker after every command via an atomic pointer, which lets Identify-
+// and Stats-style callers observe the array without queueing behind long
+// queries.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/timekits"
+	"almanac/internal/vclock"
+)
+
+// Config parameterises an Array.
+type Config struct {
+	// Shards is the number of TimeSSD devices in the array (≥ 1).
+	Shards int
+
+	// QueueDepth is the buffered capacity of each shard's submission
+	// queue. Submission blocks when the queue is full (host-side
+	// backpressure, like a full NVMe SQ).
+	QueueDepth int
+
+	// Shard configures each member device. All shards share one geometry:
+	// uniform stripes keep the LPA mapping a pure mod/div pair.
+	Shard core.Config
+}
+
+// DefaultQueueDepth is used when Config.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// opKind identifies a queued command.
+type opKind uint8
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opTrim
+	opIdle
+	opFunc // internal fan-out: run fn on the shard's device/kit
+)
+
+// Cmd is one queued command. Submit it with Array.Submit and wait for the
+// worker to complete it with Wait; the result fields are valid only after
+// Wait returns. A Cmd must not be reused while in flight.
+type Cmd struct {
+	Kind opKind
+	LPA  uint64 // global (array) LPA
+	Data []byte // write payload
+	At   vclock.Time
+	End  vclock.Time // idle: end of the announced gap
+
+	// Results.
+	Out  []byte
+	Done vclock.Time
+	Err  error
+
+	fn   func(dev *core.TimeSSD, kit *timekits.Kit)
+	done chan struct{}
+}
+
+// Wait blocks until the shard worker has executed the command.
+func (c *Cmd) Wait() { <-c.done }
+
+// Snapshot is the lock-free per-shard state view republished by the worker
+// after every command (see StatsView).
+type Snapshot struct {
+	WindowStart    vclock.Time
+	Segments       int
+	HostPageWrites int64
+	HostPageReads  int64
+	TrimOps        int64
+	FlashReads     int64
+	FlashPrograms  int64
+	FlashErases    int64
+	Time           core.Stats
+}
+
+// shard is one member device plus its worker plumbing.
+type shard struct {
+	id   int
+	dev  *core.TimeSSD
+	kit  *timekits.Kit
+	sq   chan *Cmd
+	snap atomic.Pointer[Snapshot]
+}
+
+// Array is a striped multi-device TimeSSD.
+type Array struct {
+	cfg     Config
+	shards  []*shard
+	logical int
+	pages   int // page size
+
+	wg sync.WaitGroup
+
+	// closeMu serialises submissions against Close: senders hold the read
+	// side while enqueueing, so the queues can only be closed when no send
+	// is in flight (a send on a closed channel would panic).
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+var _ ftl.Device = (*Array)(nil)
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = errors.New("array: closed")
+
+// New builds an array of cfg.Shards fresh TimeSSDs and starts one worker
+// per shard.
+func New(cfg Config) (*Array, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("array: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	a := &Array{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		dev, err := core.New(cfg.Shard)
+		if err != nil {
+			a.stopWorkers()
+			return nil, fmt.Errorf("array: shard %d: %w", i, err)
+		}
+		a.addShard(dev)
+	}
+	a.finish()
+	return a, nil
+}
+
+// Assemble builds an array over pre-built devices (the almanacd image-load
+// path: each shard is rebuilt from its own image file, then handed here).
+// All devices must share one geometry.
+func Assemble(devs []*core.TimeSSD) (*Array, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("array: no shards")
+	}
+	a := &Array{cfg: Config{Shards: len(devs), QueueDepth: DefaultQueueDepth, Shard: devs[0].Config()}}
+	for i, dev := range devs {
+		if dev.LogicalPages() != devs[0].LogicalPages() || dev.PageSize() != devs[0].PageSize() {
+			a.stopWorkers()
+			return nil, fmt.Errorf("array: shard %d geometry differs from shard 0", i)
+		}
+		a.addShard(dev)
+	}
+	a.finish()
+	return a, nil
+}
+
+func (a *Array) addShard(dev *core.TimeSSD) {
+	s := &shard{
+		id:  len(a.shards),
+		dev: dev,
+		kit: timekits.New(dev),
+		sq:  make(chan *Cmd, a.cfg.QueueDepth),
+	}
+	s.snap.Store(snapshotOf(dev))
+	a.shards = append(a.shards, s)
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		s.run()
+	}()
+}
+
+func (a *Array) finish() {
+	a.logical = a.shards[0].dev.LogicalPages() * len(a.shards)
+	a.pages = a.shards[0].dev.PageSize()
+}
+
+func (a *Array) stopWorkers() {
+	for _, s := range a.shards {
+		close(s.sq)
+	}
+	a.wg.Wait()
+}
+
+// Close drains and stops every worker. Commands already submitted complete;
+// later submissions fail with ErrClosed.
+func (a *Array) Close() error {
+	a.closeMu.Lock()
+	if a.closed {
+		a.closeMu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.closeMu.Unlock()
+	a.stopWorkers()
+	return nil
+}
+
+// run is the worker loop: execute commands FIFO, republish the snapshot.
+func (s *shard) run() {
+	for cmd := range s.sq {
+		s.exec(cmd)
+		s.snap.Store(snapshotOf(s.dev))
+		close(cmd.done)
+	}
+}
+
+func (s *shard) exec(c *Cmd) {
+	local := c.LPA
+	switch c.Kind {
+	case opRead:
+		c.Out, c.Done, c.Err = s.dev.Read(local, c.At)
+	case opWrite:
+		c.Done, c.Err = s.dev.Write(local, c.Data, c.At)
+		c.Data = nil // release the payload; pipelined replays retain Cmds until collection
+	case opTrim:
+		c.Done, c.Err = s.dev.Trim(local, c.At)
+	case opIdle:
+		s.dev.Idle(c.At, c.End)
+		c.Done = c.At
+	case opFunc:
+		c.fn(s.dev, s.kit)
+		c.Done = c.At
+	default:
+		c.Err = fmt.Errorf("array: unknown command kind %d", c.Kind)
+	}
+}
+
+func snapshotOf(dev *core.TimeSSD) *Snapshot {
+	fs := dev.Arr.Stats()
+	return &Snapshot{
+		WindowStart:    dev.RetentionWindowStart(),
+		Segments:       dev.Segments(),
+		HostPageWrites: dev.HostPageWrites,
+		HostPageReads:  dev.HostPageReads,
+		TrimOps:        dev.TrimOps,
+		FlashReads:     fs.Reads,
+		FlashPrograms:  fs.Programs,
+		FlashErases:    fs.Erases,
+		Time:           dev.TimeStats(),
+	}
+}
+
+// ---- striping -------------------------------------------------------------
+
+// Shards returns the number of member devices.
+func (a *Array) Shards() int { return len(a.shards) }
+
+// ShardConfig returns the configuration shared by every member device.
+func (a *Array) ShardConfig() core.Config { return a.cfg.Shard }
+
+// LogicalPages is the array's exported capacity: the sum over shards.
+func (a *Array) LogicalPages() int { return a.logical }
+
+// PageSize is the page size shared by every shard.
+func (a *Array) PageSize() int { return a.pages }
+
+// Locate maps a global LPA to its shard and shard-local LPA. Striping is
+// round-robin at page granularity (shard = lpa mod N), so sequential host
+// ranges spread across every member device — the same reason SSDs stripe
+// across channels.
+func (a *Array) Locate(lpa uint64) (shard int, local uint64) {
+	n := uint64(len(a.shards))
+	return int(lpa % n), lpa / n
+}
+
+// GlobalLPA is the inverse of Locate.
+func (a *Array) GlobalLPA(shard int, local uint64) uint64 {
+	return local*uint64(len(a.shards)) + uint64(shard)
+}
+
+func (a *Array) checkLPA(lpa uint64) error {
+	if lpa >= uint64(a.logical) {
+		return fmt.Errorf("%w: lpa %d (array has %d pages)", ftl.ErrOutOfRange, lpa, a.logical)
+	}
+	return nil
+}
+
+// ---- submission -----------------------------------------------------------
+
+// Submit enqueues cmd on the shard owning cmd.LPA (Read/Write/Trim). The
+// call blocks only while that shard's queue is full. Completion is
+// observed with cmd.Wait.
+func (a *Array) Submit(cmd *Cmd) error {
+	if err := a.checkLPA(cmd.LPA); err != nil {
+		return err
+	}
+	sh, local := a.Locate(cmd.LPA)
+	cmd.LPA = local
+	return a.submitTo(sh, cmd)
+}
+
+// submitTo enqueues a command on an explicit shard.
+func (a *Array) submitTo(sh int, cmd *Cmd) error {
+	a.closeMu.RLock()
+	defer a.closeMu.RUnlock()
+	if a.closed {
+		return ErrClosed
+	}
+	cmd.done = make(chan struct{})
+	a.shards[sh].sq <- cmd
+	return nil
+}
+
+// fanOut runs fn on every shard concurrently and waits for all of them.
+// fn receives the shard index and must only touch that shard's device/kit.
+func (a *Array) fanOut(at vclock.Time, fn func(i int, dev *core.TimeSSD, kit *timekits.Kit)) error {
+	cmds := make([]*Cmd, len(a.shards))
+	for i := range a.shards {
+		i := i
+		cmds[i] = &Cmd{Kind: opFunc, At: at, fn: func(dev *core.TimeSSD, kit *timekits.Kit) { fn(i, dev, kit) }}
+		if err := a.submitTo(i, cmds[i]); err != nil {
+			for _, c := range cmds[:i] {
+				c.Wait()
+			}
+			return err
+		}
+	}
+	for _, c := range cmds {
+		c.Wait()
+	}
+	return nil
+}
+
+// ---- synchronous ftl.Device interface -------------------------------------
+
+// Read returns the current version of lpa.
+func (a *Array) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
+	cmd := &Cmd{Kind: opRead, LPA: lpa, At: at}
+	if err := a.Submit(cmd); err != nil {
+		return nil, at, err
+	}
+	cmd.Wait()
+	return cmd.Out, cmd.Done, cmd.Err
+}
+
+// Write stores a new version of lpa.
+func (a *Array) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error) {
+	cmd := &Cmd{Kind: opWrite, LPA: lpa, Data: data, At: at}
+	if err := a.Submit(cmd); err != nil {
+		return at, err
+	}
+	cmd.Wait()
+	return cmd.Done, cmd.Err
+}
+
+// Trim invalidates lpa.
+func (a *Array) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
+	cmd := &Cmd{Kind: opTrim, LPA: lpa, At: at}
+	if err := a.Submit(cmd); err != nil {
+		return at, err
+	}
+	cmd.Wait()
+	return cmd.Done, cmd.Err
+}
+
+// Idle announces a host idle period [now, until) to every shard (trace
+// replay uses this for §3.6 background compression). All shards run their
+// idle work concurrently; Idle returns when every shard is done.
+func (a *Array) Idle(now, until vclock.Time) {
+	cmds := make([]*Cmd, 0, len(a.shards))
+	for i := range a.shards {
+		cmd := &Cmd{Kind: opIdle, At: now, End: until}
+		if a.submitTo(i, cmd) == nil {
+			cmds = append(cmds, cmd)
+		}
+	}
+	for _, c := range cmds {
+		c.Wait()
+	}
+}
+
+// ---- observability --------------------------------------------------------
+
+// Stats aggregates counters over the whole array.
+type Stats struct {
+	HostPageWrites int64
+	HostPageReads  int64
+	TrimOps        int64
+	FlashReads     int64
+	FlashPrograms  int64
+	FlashErases    int64
+	Time           core.Stats // summed TimeSSD counters
+}
+
+func addTimeStats(dst *core.Stats, s core.Stats) {
+	dst.Invalidations += s.Invalidations
+	dst.DeltasCreated += s.DeltasCreated
+	dst.DeltaPagesWritten += s.DeltaPagesWritten
+	dst.ExpiredReclaimed += s.ExpiredReclaimed
+	dst.WindowDrops += s.WindowDrops
+	dst.IdleCompressions += s.IdleCompressions
+	dst.EstimatorChecks += s.EstimatorChecks
+	dst.EstimatorTrips += s.EstimatorTrips
+}
+
+// StatsView sums the per-shard snapshots without queueing: the view is
+// lock-free and may trail in-flight commands by at most one per shard.
+func (a *Array) StatsView() Stats {
+	var out Stats
+	for _, s := range a.shards {
+		sn := s.snap.Load()
+		out.HostPageWrites += sn.HostPageWrites
+		out.HostPageReads += sn.HostPageReads
+		out.TrimOps += sn.TrimOps
+		out.FlashReads += sn.FlashReads
+		out.FlashPrograms += sn.FlashPrograms
+		out.FlashErases += sn.FlashErases
+		addTimeStats(&out.Time, sn.Time)
+	}
+	return out
+}
+
+// ShardSnapshot returns shard i's latest published snapshot (lock-free).
+func (a *Array) ShardSnapshot(i int) Snapshot { return *a.shards[i].snap.Load() }
+
+// RetentionWindowStart returns the start of the array-wide retrievable
+// window: the latest per-shard window start. Inside it, every shard can
+// answer for its stripe, so a cross-shard query at any t past this point
+// is consistent; individual shards may reach further back on their own.
+func (a *Array) RetentionWindowStart() vclock.Time {
+	var start vclock.Time
+	for _, s := range a.shards {
+		if ws := s.snap.Load().WindowStart; ws > start {
+			start = ws
+		}
+	}
+	return start
+}
+
+// WriteAmplification returns array-wide flash programs / host page writes.
+func (a *Array) WriteAmplification() float64 {
+	st := a.StatsView()
+	if st.HostPageWrites == 0 {
+		return 0
+	}
+	return float64(st.FlashPrograms) / float64(st.HostPageWrites)
+}
+
+// Barrier waits until every command submitted before the call has
+// completed on its shard (a full-array flush).
+func (a *Array) Barrier() {
+	_ = a.fanOut(0, func(int, *core.TimeSSD, *timekits.Kit) {})
+}
+
+// CheckInvariants runs the per-device invariant checker on every shard.
+func (a *Array) CheckInvariants() error {
+	errs := make([]error, len(a.shards))
+	if err := a.fanOut(0, func(i int, dev *core.TimeSSD, _ *timekits.Kit) {
+		errs[i] = dev.CheckInvariants()
+	}); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("array: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package array
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/timekits"
+	"almanac/internal/trace"
+	"almanac/internal/vclock"
+)
+
+func shardConfig() core.Config {
+	fc := flash.DefaultConfig()
+	fc.Channels = 2
+	fc.ChipsPerChannel = 1
+	fc.BlocksPerPlane = 32
+	fc.PagesPerBlock = 16
+	fc.PageSize = 512
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0
+	return cfg
+}
+
+func newTestArray(t testing.TB, shards int) *Array {
+	t.Helper()
+	a, err := New(Config{Shards: shards, Shard: shardConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func testPage(a *Array, b byte) []byte {
+	p := make([]byte, a.PageSize())
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		a := newTestArray(t, n)
+		perShard := make([]int, n)
+		for lpa := uint64(0); lpa < uint64(a.LogicalPages()); lpa++ {
+			s, local := a.Locate(lpa)
+			if g := a.GlobalLPA(s, local); g != lpa {
+				t.Fatalf("n=%d: GlobalLPA(Locate(%d)) = %d", n, lpa, g)
+			}
+			if local >= uint64(a.LogicalPages()/n) {
+				t.Fatalf("n=%d: lpa %d maps to local %d beyond shard capacity", n, lpa, local)
+			}
+			perShard[s]++
+		}
+		for s, c := range perShard {
+			if c != a.LogicalPages()/n {
+				t.Fatalf("n=%d: shard %d owns %d pages, want %d", n, s, c, a.LogicalPages()/n)
+			}
+		}
+	}
+}
+
+func TestLocalRangeCoversStripe(t *testing.T) {
+	a := newTestArray(t, 4)
+	for _, r := range []struct {
+		addr uint64
+		cnt  int
+	}{{0, 1}, {1, 1}, {0, 4}, {3, 5}, {7, 11}, {2, 64}} {
+		covered := make(map[uint64]bool)
+		for s := range a.shards {
+			lo, n, ok := a.localRange(r.addr, r.cnt, s)
+			if !ok {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				g := a.GlobalLPA(s, lo+uint64(i))
+				if g < r.addr || g >= r.addr+uint64(r.cnt) {
+					t.Fatalf("range [%d,+%d) shard %d: local %d maps outside to %d", r.addr, r.cnt, s, lo+uint64(i), g)
+				}
+				if covered[g] {
+					t.Fatalf("range [%d,+%d): lpa %d covered twice", r.addr, r.cnt, g)
+				}
+				covered[g] = true
+			}
+		}
+		if len(covered) != r.cnt {
+			t.Fatalf("range [%d,+%d): covered %d of %d pages", r.addr, r.cnt, len(covered), r.cnt)
+		}
+	}
+}
+
+// TestStripeRoundTrip writes distinct content to every global LPA and reads
+// it back: the stripe mapping must be a bijection end to end, and host
+// writes must spread evenly over the shards.
+func TestStripeRoundTrip(t *testing.T) {
+	a := newTestArray(t, 4)
+	at := vclock.Time(vclock.Second)
+	total := uint64(a.LogicalPages())
+	for lpa := uint64(0); lpa < total; lpa++ {
+		done, err := a.Write(lpa, testPage(a, byte(lpa%251)), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", lpa, err)
+		}
+		at = done.Add(vclock.Millisecond)
+	}
+	for lpa := uint64(0); lpa < total; lpa++ {
+		data, _, err := a.Read(lpa, at)
+		if err != nil {
+			t.Fatalf("read %d: %v", lpa, err)
+		}
+		if !bytes.Equal(data, testPage(a, byte(lpa%251))) {
+			t.Fatalf("lpa %d: content corrupted by striping", lpa)
+		}
+	}
+	for i := 0; i < a.Shards(); i++ {
+		if w := a.ShardSnapshot(i).HostPageWrites; w != int64(total)/int64(a.Shards()) {
+			t.Fatalf("shard %d absorbed %d writes, want %d", i, w, total/uint64(a.Shards()))
+		}
+	}
+	if st := a.StatsView(); st.HostPageWrites != int64(total) || st.HostPageReads != int64(total) {
+		t.Fatalf("aggregate stats wrong: %+v", st)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeQueryRangeMergeOrdering exercises the cross-shard merge: updates
+// land on all four shards at interleaved times (including a trim and a
+// cross-shard timestamp tie) and the merged stream must come out newest
+// update first, ties broken by ascending global LPA.
+func TestTimeQueryRangeMergeOrdering(t *testing.T) {
+	a := newTestArray(t, 4)
+	h := func(n int) vclock.Time { return vclock.Time(n) * vclock.Time(vclock.Hour) }
+	// LPA k lives on shard k%4. Writes at distinct hours, newest on a
+	// middle shard so merge order differs from shard order; LPAs 5 and 6
+	// (shards 1 and 2) share hour 5 to exercise the LPA tiebreak.
+	writes := []struct {
+		lpa uint64
+		at  vclock.Time
+	}{
+		{0, h(1)}, {1, h(3)}, {2, h(2)}, {3, h(4)},
+		{5, h(5)}, {6, h(5)},
+	}
+	for _, w := range writes {
+		if _, err := a.Write(w.lpa, testPage(a, byte(w.lpa+1)), w.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Trim(2, h(6)); err != nil { // newest event of all, on shard 2
+		t.Fatal(err)
+	}
+	now := h(7)
+
+	res, err := a.TimeQueryRange(0, now, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotLPAs []uint64
+	for _, r := range res.Value {
+		gotLPAs = append(gotLPAs, r.LPA)
+	}
+	// Newest first: trim(2)@6h, tie 5/6@5h by LPA, 3@4h, 1@3h, 0@1h.
+	want := []uint64{2, 5, 6, 3, 1, 0}
+	if !reflect.DeepEqual(gotLPAs, want) {
+		t.Fatalf("merge order: got %v want %v", gotLPAs, want)
+	}
+	if res.Value[0].Times[0] != h(6) {
+		t.Fatalf("trim timestamp not merged: %v", res.Value[0].Times)
+	}
+	for i := 1; i < len(res.Value); i++ {
+		if res.Value[i].Times[0] > res.Value[i-1].Times[0] {
+			t.Fatalf("record %d newer than its predecessor", i)
+		}
+	}
+	if res.Done <= now {
+		t.Fatal("cross-shard query charged no device time")
+	}
+
+	// A sub-range excludes events outside it on every shard.
+	res, err = a.TimeQueryRange(h(2), h(4), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLPAs = gotLPAs[:0]
+	for _, r := range res.Value {
+		gotLPAs = append(gotLPAs, r.LPA)
+	}
+	if want := []uint64{3, 1, 2}; !reflect.DeepEqual(gotLPAs, want) {
+		t.Fatalf("sub-range merge: got %v want %v", gotLPAs, want)
+	}
+}
+
+// TestRollBackAllMatchesSingleDevice replays one write history against a
+// 4-shard array and a single TimeSSD, rolls both back to the same shared
+// timestamp, and requires identical per-LPA contents: the acceptance check
+// that one virtual timestamp names a consistent cross-shard point.
+func TestRollBackAllMatchesSingleDevice(t *testing.T) {
+	a := newTestArray(t, 4)
+	single, err := core.New(shardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit := timekits.New(single)
+
+	span := uint64(16) // fits the single device; stripes over every shard
+	h := func(n int) vclock.Time { return vclock.Time(n) * vclock.Time(vclock.Hour) }
+	// Three generations; generation g rewrites every even-offset page (and
+	// all pages in g1) so some LPAs have deeper histories than others.
+	for g := 1; g <= 3; g++ {
+		for lpa := uint64(0); lpa < span; lpa++ {
+			if g > 1 && lpa%2 == 1 {
+				continue
+			}
+			data := testPage(a, byte(16*g)+byte(lpa))
+			if _, err := a.Write(lpa, data, h(g)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := single.Write(lpa, data, h(g)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Travel both to just after generation 2.
+	target, now := h(2).Add(vclock.Minute), h(5)
+	ares, err := a.RollBackAll(target, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := kit.RollBackAll(target, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Value != sres.Value {
+		t.Fatalf("array changed %d pages, single device %d", ares.Value, sres.Value)
+	}
+	after := now.Add(vclock.Hour)
+	for lpa := uint64(0); lpa < span; lpa++ {
+		got, _, err := a.Read(lpa, after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := single.Read(lpa, after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lpa %d: array rollback diverges from single device (got %x… want %x…)", lpa, got[0], want[0])
+		}
+		// Both must equal generation 2's content (g1 content on odd LPAs).
+		g := byte(32)
+		if lpa%2 == 1 {
+			g = 16
+		}
+		if got[0] != g+byte(lpa) {
+			t.Fatalf("lpa %d: rollback restored wrong generation (%x)", lpa, got[0])
+		}
+	}
+}
+
+// TestDeterministicReplay runs the same generated trace twice on fresh
+// 4-shard arrays: aggregate stats and every per-shard snapshot must be
+// bit-identical regardless of how the scheduler interleaved the workers.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (Stats, []Snapshot, *trace.RunStats) {
+		a := newTestArray(t, 4)
+		gen := trace.NewContentGen(a.PageSize(), trace.ContentSimilar, 7)
+		footprint := uint64(a.LogicalPages()) / 2
+		warmEnd, err := trace.Fill(a, footprint, gen, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := trace.Generate(trace.Spec{
+			Name: "det", Seed: 7, Requests: 600,
+			Duration:   vclock.Duration(600) * 100 * vclock.Microsecond,
+			WriteRatio: 0.8, TrimRatio: 0.05, Footprint: footprint,
+			AvgPages: 2, HotFraction: 0.1, HotAccess: 0.7, BurstLen: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := warmEnd.Add(vclock.Second)
+		for i := range reqs {
+			reqs[i].At = reqs[i].At + shift
+		}
+		st, err := Replay(a, reqs, trace.ReplayOptions{Content: gen, AnnounceIdle: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps := make([]Snapshot, a.Shards())
+		for i := range snaps {
+			snaps[i] = a.ShardSnapshot(i)
+		}
+		return a.StatsView(), snaps, st
+	}
+
+	st1, snaps1, run1 := run()
+	st2, snaps2, run2 := run()
+	if st1 != st2 {
+		t.Fatalf("aggregate stats differ between identical runs:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(snaps1, snaps2) {
+		t.Fatalf("per-shard snapshots differ between identical runs")
+	}
+	if run1.End != run2.End || run1.Errors != run2.Errors {
+		t.Fatalf("replay outcomes differ: end %v/%v errors %d/%d", run1.End, run2.End, run1.Errors, run2.Errors)
+	}
+	if st1.HostPageWrites == 0 || st1.TrimOps == 0 {
+		t.Fatalf("trace exercised nothing: %+v", st1)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	a := newTestArray(t, 2)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(0, testPage(a, 1), 0); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestAddrQueryAcrossShards(t *testing.T) {
+	a := newTestArray(t, 4)
+	h := func(n int) vclock.Time { return vclock.Time(n) * vclock.Time(vclock.Hour) }
+	for lpa := uint64(0); lpa < 8; lpa++ {
+		for g := 1; g <= 2; g++ {
+			if _, err := a.Write(lpa, testPage(a, byte(16*g)+byte(lpa)), h(g)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	now := h(3)
+	res, err := a.AddrQuery(2, 5, h(1).Add(vclock.Minute), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Value) != 5 {
+		t.Fatalf("AddrQuery returned %d LPAs, want 5", len(res.Value))
+	}
+	for i, pv := range res.Value {
+		if pv.LPA != uint64(2+i) {
+			t.Fatalf("result %d: lpa %d, want ascending from 2", i, pv.LPA)
+		}
+		if len(pv.Versions) != 1 || pv.Versions[0].Data[0] != 16+byte(pv.LPA) {
+			t.Fatalf("lpa %d: wrong generation at t", pv.LPA)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/trace"
+	"almanac/internal/vclock"
+)
+
+// Replay drives a request stream against the array with per-shard
+// pipelining: a single submitter walks the trace in order and enqueues
+// each page operation on its shard without waiting for completion, so
+// shards execute in parallel while every shard still sees its own
+// operations in trace order (same-LPA ordering is therefore preserved —
+// an LPA always maps to one shard, whose queue is FIFO).
+//
+// Determinism: content generation happens in the submitter, in trace
+// order, from the seeded generator; each shard's command sequence is a
+// pure function of the trace; and per-shard devices are only touched by
+// their workers. Two replays of the same trace on same-shaped arrays
+// therefore produce bit-identical per-shard and aggregate statistics, no
+// matter how the host scheduler interleaves the workers.
+//
+// Idle announcements derive from trace arrival gaps (the submitter cannot
+// know completion times without stalling the pipeline); gaps of at least
+// opts-independent 1 ms are forwarded to every shard in stream order.
+func Replay(a *Array, reqs []trace.Request, opts trace.ReplayOptions) (*trace.RunStats, error) {
+	st := &trace.RunStats{}
+	if len(reqs) == 0 {
+		return st, nil
+	}
+	st.Start = reqs[0].At
+	logical := uint64(a.LogicalPages())
+
+	// One entry per request: the page commands whose max completion is the
+	// request's completion.
+	cmds := make([][]*Cmd, len(reqs))
+	prevArrival := reqs[0].At
+
+	const minIdleGap = vclock.Duration(1 * vclock.Millisecond)
+
+	for i := range reqs {
+		r := &reqs[i]
+		if opts.AnnounceIdle && r.At.Sub(prevArrival) >= minIdleGap {
+			// Async fan-out: ordering within each shard is kept by the queue.
+			for s := range a.shards {
+				cmd := &Cmd{Kind: opIdle, At: prevArrival, End: r.At}
+				if err := a.submitTo(s, cmd); err == nil {
+					cmds[i] = append(cmds[i], cmd)
+				}
+			}
+		}
+		prevArrival = r.At
+		switch r.Op {
+		case trace.OpRead:
+			st.Reads++
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				c := &Cmd{Kind: opRead, LPA: lpa, At: r.At}
+				if err := a.Submit(c); err != nil {
+					return st, err
+				}
+				cmds[i] = append(cmds[i], c)
+				st.PagesRead++
+			}
+		case trace.OpWrite:
+			st.Writes++
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				var payload []byte
+				if opts.Content != nil {
+					payload = opts.Content.NextVersion(lpa)
+				} else {
+					payload = make([]byte, a.PageSize())
+				}
+				c := &Cmd{Kind: opWrite, LPA: lpa, Data: payload, At: r.At}
+				if err := a.Submit(c); err != nil {
+					return st, err
+				}
+				cmds[i] = append(cmds[i], c)
+				st.PagesWritten++
+			}
+		case trace.OpTrim:
+			st.Trims++
+			for p := 0; p < r.Pages; p++ {
+				lpa := (r.LPA + uint64(p)) % logical
+				c := &Cmd{Kind: opTrim, LPA: lpa, At: r.At}
+				if err := a.Submit(c); err != nil {
+					return st, err
+				}
+				cmds[i] = append(cmds[i], c)
+			}
+		default:
+			return st, fmt.Errorf("array: unknown op %v", r.Op)
+		}
+		st.Requests++
+	}
+
+	// Collect completions and fold them into per-request response times.
+	var firstFatal error
+	for i := range reqs {
+		arrival := reqs[i].At
+		done := arrival
+		failed := false
+		for _, c := range cmds[i] {
+			c.Wait()
+			if c.Err != nil {
+				failed = true
+				if firstFatal == nil && isFatal(c.Err) {
+					firstFatal = fmt.Errorf("request %d (%v lpa=%d): %w", i, reqs[i].Op, reqs[i].LPA, c.Err)
+				}
+				continue
+			}
+			if c.Done > done {
+				done = c.Done
+			}
+		}
+		if failed {
+			st.Errors++
+		}
+		resp := done.Sub(arrival)
+		st.RespSum += resp
+		if resp > st.RespMax {
+			st.RespMax = resp
+		}
+		if opts.KeepLatencies {
+			st.Latencies = append(st.Latencies, resp)
+		}
+		if done.After(st.End) {
+			st.End = done
+		}
+	}
+	if firstFatal != nil {
+		return st, firstFatal
+	}
+	if opts.StopOnError && st.Errors > 0 {
+		return st, fmt.Errorf("array: %d requests failed", st.Errors)
+	}
+	return st, nil
+}
+
+// isFatal mirrors trace.Replay's policy: a full device (including
+// core.ErrRetentionFull, which wraps nothing but accompanies exhaustion)
+// means nothing later in the stream can succeed.
+func isFatal(err error) bool {
+	return errors.Is(err, ftl.ErrDeviceFull) || errors.Is(err, core.ErrRetentionFull)
+}
