@@ -1,0 +1,135 @@
+// Command almalint runs Almanac's domain-aware static analyzer over the
+// module: wall-clock bans in simulation packages, unseeded randomness,
+// firmware-layer boundaries, lock discipline, dropped errors, and
+// map-ordering determinism hazards. See internal/lint and DESIGN.md
+// ("Static analysis & invariants").
+//
+// Usage:
+//
+//	almalint [-json] [-rules id,id,...] [-list] [./... | dir ...]
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"almanac/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	ruleList := flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	list := flag.Bool("list", false, "list rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: almalint [-json] [-rules id,id,...] [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-12s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+	if *ruleList != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*ruleList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		var sel []lint.Rule
+		for _, r := range rules {
+			if want[r.ID()] {
+				sel = append(sel, r)
+				delete(want, r.ID())
+			}
+		}
+		for id := range want {
+			fatalf("unknown rule %q (use -list)", id)
+		}
+		rules = sel
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			p, err := loader.Load(strings.TrimSuffix(pat, "/"))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	findings := lint.Run(pkgs, rules)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "almalint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("almalint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "almalint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -81,7 +81,9 @@ func runReplay(cfg harness.Config, path string) error {
 		return err
 	}
 	reqs, err := trace.ReadCSV(f)
-	f.Close()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

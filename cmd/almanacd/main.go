@@ -107,13 +107,15 @@ func main() {
 		fmt.Println("almanacd: draining (in-flight frames complete, then images are saved)")
 		// Shutdown returns only when every connection has finished its
 		// current frame, so the image save below cannot race a dispatch.
-		srv.Shutdown()
+		if err := srv.Shutdown(); err != nil {
+			log.Print(err)
+		}
 	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Print(err)
 	}
 	if arr != nil {
-		arr.Close() // park the workers before touching the devices directly
+		_ = arr.Close() // park the workers before touching the devices directly; Close on a live array cannot fail
 	}
 	if *image != "" {
 		for i, dev := range devs {
@@ -212,7 +214,7 @@ func saveDevice(dev *core.TimeSSD, image string) error {
 		return err
 	}
 	if err := dev.Arr.WriteImage(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := f.Close(); err != nil {

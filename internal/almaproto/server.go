@@ -66,7 +66,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.lnMu.Lock()
 		if s.draining {
 			s.lnMu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -78,7 +78,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				s.lnMu.Lock()
 				delete(s.conns, conn)
 				s.lnMu.Unlock()
-				conn.Close()
+				_ = conn.Close()
 			}()
 			s.serveConn(conn)
 		}()
@@ -110,7 +110,8 @@ func (s *Server) Shutdown() error {
 	// An expired read deadline makes the *next* readFrame fail without
 	// affecting a dispatch already in progress or its response write.
 	for conn := range s.conns {
-		conn.SetReadDeadline(time.Now())
+		//almalint:allow wallclock network read deadlines are host wall time, not simulated time
+		_ = conn.SetReadDeadline(time.Now())
 	}
 	s.lnMu.Unlock()
 	s.wg.Wait()

@@ -48,7 +48,7 @@ func (r *Result) MBPerSec() float64 {
 // random values, §5.3).
 func randomPage(rng *rand.Rand, n int) []byte {
 	b := make([]byte, n)
-	rng.Read(b)
+	_, _ = rng.Read(b) // rand.Rand.Read is documented to never fail
 	return b
 }
 
@@ -58,7 +58,7 @@ func randomPage(rng *rand.Rand, n int) []byte {
 func dbPage(rng *rand.Rand, n int, key int64) []byte {
 	base := rand.New(rand.NewSource(key))
 	b := make([]byte, n)
-	base.Read(b)
+	_, _ = base.Read(b) // rand.Rand.Read is documented to never fail
 	k := n / 16
 	for i := 0; i < k; i++ {
 		b[rng.Intn(n)] = byte(rng.Intn(256))

@@ -315,6 +315,10 @@ func (a *Array) submitTo(sh int, cmd *Cmd) error {
 		return ErrClosed
 	}
 	cmd.done = make(chan struct{})
+	// Sending under the read lock is the design: Close takes the write side
+	// only after every in-flight send finished, and workers drain the queue
+	// without ever taking closeMu, so a full queue cannot deadlock Close.
+	//almalint:allow lockheld worker consumes without taking closeMu
 	a.shards[sh].sq <- cmd
 	return nil
 }

@@ -14,6 +14,7 @@ package bloom
 import (
 	"math"
 
+	"almanac/internal/invariant"
 	"almanac/internal/vclock"
 )
 
@@ -25,6 +26,11 @@ type Filter struct {
 	n       int    // insertions so far
 	Created vclock.Time
 	Sealed  vclock.Time // zero until sealed
+
+	// debugKeys is the shadow set behind the almanacdebug no-false-negative
+	// audit: every key this filter answers for must keep testing positive.
+	// Nil (and free) in normal builds.
+	debugKeys map[uint64]struct{}
 }
 
 // NewFilter sizes a filter for the expected number of insertions and target
@@ -64,6 +70,9 @@ func splitmix64(x uint64) uint64 {
 
 // Add inserts key into the filter.
 func (f *Filter) Add(key uint64) {
+	if invariant.Enabled {
+		f.recordDebug(key)
+	}
 	h1 := splitmix64(key)
 	h2 := splitmix64(h1) | 1
 	for i := 0; i < f.k; i++ {
@@ -77,13 +86,29 @@ func (f *Filter) Add(key uint64) {
 func (f *Filter) Contains(key uint64) bool {
 	h1 := splitmix64(key)
 	h2 := splitmix64(h1) | 1
+	hit := true
 	for i := 0; i < f.k; i++ {
 		bit := (h1 + uint64(i)*h2) % f.mBits
 		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
-			return false
+			hit = false
+			break
 		}
 	}
-	return true
+	if invariant.Enabled && !hit {
+		// A false positive only retains a page longer (harmless); a false
+		// negative would let GC reclaim a non-expired page (§3.5).
+		_, recorded := f.debugKeys[key]
+		invariant.Assert(!recorded, "bloom false negative: recorded key %d tests absent", key)
+	}
+	return hit
+}
+
+// recordDebug notes a key the filter has answered for (almanacdebug only).
+func (f *Filter) recordDebug(key uint64) {
+	if f.debugKeys == nil {
+		f.debugKeys = make(map[uint64]struct{})
+	}
+	f.debugKeys[key] = struct{}{}
 }
 
 // Count returns the number of insertions the filter has absorbed.
@@ -127,6 +152,13 @@ func (c *Chain) Invalidate(ppa uint64, now vclock.Time) {
 	if active.Contains(key) {
 		// The whole group is already marked in this segment; the paper's
 		// grouping makes this the common case for sequential invalidation.
+		// Under almanacdebug the key is still recorded: if it hit as a
+		// false positive of the active filter, the invalidation would be
+		// silently attributed to earlier bits — the audit keeps it honest
+		// (the bits never clear, so Contains must stay true).
+		if invariant.Enabled {
+			active.recordDebug(key)
+		}
 		return
 	}
 	active.Add(key)

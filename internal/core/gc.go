@@ -8,6 +8,7 @@ import (
 	"almanac/internal/delta"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
+	"almanac/internal/invariant"
 	"almanac/internal/vclock"
 )
 
@@ -96,10 +97,29 @@ func (t *TimeSSD) cheapReclaimDeficit() bool {
 	return n < want
 }
 
-// collectOnce is one pass of Algorithm 1: erase an expired delta block if
-// one exists (free space at zero migration cost); otherwise reclaim the
-// data block with the most invalid pages.
+// collectOnce is one pass of Algorithm 1 plus, under almanacdebug, a deep
+// cross-consistency audit of the structures GC just touched.
 func (t *TimeSSD) collectOnce(at vclock.Time) (vclock.Time, error) {
+	done, err := t.collectOncePass(at)
+	if invariant.Enabled && err == nil {
+		// CheckInvariants is O(device); auditing every few GC passes keeps
+		// debug-tag test runs tractable while still catching corruption
+		// within a handful of passes of its introduction.
+		t.gcAudits++
+		if t.gcAudits%gcAuditEvery == 0 {
+			invariant.AssertNoErr(t.CheckInvariants(), "post-GC AMT/PVT cross-consistency")
+		}
+	}
+	return done, err
+}
+
+// gcAuditEvery is the deep-audit sampling interval under almanacdebug.
+const gcAuditEvery = 8
+
+// collectOncePass is one pass of Algorithm 1: erase an expired delta block
+// if one exists (free space at zero migration cost); otherwise reclaim the
+// data block with the most invalid pages.
+func (t *TimeSSD) collectOncePass(at vclock.Time) (vclock.Time, error) {
 	if n := len(t.expiredDeltaBlocks); n > 0 {
 		blk := t.expiredDeltaBlocks[n-1]
 		t.expiredDeltaBlocks = t.expiredDeltaBlocks[:n-1]
@@ -336,6 +356,16 @@ func (t *TimeSSD) flushSegment(seg *segment, at vclock.Time) (vclock.Time, error
 	oob := flash.OOB{LPA: deltaPageLPA, BackPtr: flash.NullPPA, TS: at, Kind: flash.KindDelta}
 	ppa, done, err := t.programDeltaPage(seg, page, oob, at)
 	if err != nil {
+		// The buffer was already drained by Flush. Put the deltas back so
+		// the retained versions are not silently lost and the pending index
+		// stays consistent with the buffer contents (a stale pending entry
+		// would outlive its cohort's retirement and serve data that never
+		// reached delta storage).
+		for _, d := range ds {
+			if !seg.buf.Add(d) {
+				delete(t.pending, d.LPA)
+			}
+		}
 		return at, err
 	}
 	for _, d := range ds {

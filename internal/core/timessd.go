@@ -206,6 +206,8 @@ type TimeSSD struct {
 	// §3.10 retained-data encryption (nil when no key is configured).
 	aes cipher.Block
 
+	gcAudits int64 // almanacdebug: GC passes since the last deep audit
+
 	st Stats
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"almanac/internal/invariant"
 	"almanac/internal/vclock"
 )
 
@@ -336,6 +337,22 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 	if b.writePtr >= a.cfg.PagesPerBlock {
 		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBlockFull, blockIdx)
 	}
+	if invariant.Enabled {
+		// Erase-before-program and in-block program order (§3.7's physical
+		// premises): everything below the write pointer is programmed,
+		// everything at or above it is still erased.
+		for off := 0; off < a.cfg.PagesPerBlock; off++ {
+			kind := b.pages[off].oob.Kind
+			if off < b.writePtr {
+				invariant.Assert(kind != KindFree,
+					"block %d page %d below writePtr %d is erased", blockIdx, off, b.writePtr)
+			} else {
+				invariant.Assert(kind == KindFree,
+					"block %d page %d at/above writePtr %d is already programmed (kind %v)",
+					blockIdx, off, b.writePtr, kind)
+			}
+		}
+	}
 	p := &b.pages[b.writePtr]
 	p.data = append(p.data[:0], data...)
 	p.oob = oob
@@ -361,6 +378,12 @@ func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 	b.writePtr = 0
 	b.erases++
 	a.stats.Erases++
+	if invariant.Enabled {
+		for off := range b.pages {
+			invariant.Assert(b.pages[off].oob.Kind == KindFree && len(b.pages[off].data) == 0,
+				"block %d page %d not free after erase", blockIdx, off)
+		}
+	}
 	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
 	return done, nil
 }

@@ -81,7 +81,7 @@ func ArrayScaling(c Config) (*Table, error) {
 	if r := c.ReqPerDay * c.Days; r > requests {
 		requests = r
 	}
-	base.Close()
+	_ = base.Close() // Close on a live array cannot fail
 
 	for _, mode := range []string{"strong", "weak"} {
 		var baseline float64
@@ -140,9 +140,9 @@ func (c Config) runScale(n int, footprint uint64, requests int) (*trace.RunStats
 	for i := range reqs {
 		reqs[i].At = reqs[i].At + shift
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //almalint:allow wallclock the scaling experiment measures real host parallelism
 	st, err := array.Replay(arr, reqs, trace.ReplayOptions{Content: gen, AnnounceIdle: true, KeepLatencies: true})
-	wall := time.Since(wallStart)
+	wall := time.Since(wallStart) //almalint:allow wallclock the scaling experiment measures real host parallelism
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -1,0 +1,6 @@
+//go:build almanacdebug
+
+package invariant
+
+// Enabled reports that deep runtime assertions are compiled in.
+const Enabled = true

@@ -1,0 +1,7 @@
+//go:build !almanacdebug
+
+package invariant
+
+// Enabled reports that deep runtime assertions are compiled out; guarded
+// blocks are removed as dead code.
+const Enabled = false

@@ -1,0 +1,36 @@
+// Package invariant is the runtime half of Almanac's correctness tooling
+// (the static half is internal/lint): deep assertions compiled into the
+// hot paths only under the almanacdebug build tag, and into nothing at all
+// otherwise.
+//
+// Enabled is an untyped bool constant, so in normal builds every
+//
+//	if invariant.Enabled { ... }
+//
+// block is dead code the compiler deletes — the simulator pays zero cost.
+// Under `go test -tags almanacdebug` the blocks run: AMT/PVT
+// cross-consistency after every GC pass, flash erase-before-program and
+// in-block program-order audits, and the Bloom chain's no-false-negative
+// property (a non-expired page must never look expired).
+//
+// The package is a leaf: it may be imported from anywhere, including
+// internal/flash and internal/bloom, without creating cycles.
+package invariant
+
+import "fmt"
+
+// Assert panics with a formatted message if cond is false. Call it only
+// under `if invariant.Enabled` so the arguments are not even evaluated in
+// normal builds.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// AssertNoErr panics if err is non-nil, attributing it to a named audit.
+func AssertNoErr(err error, audit string) {
+	if err != nil {
+		panic("invariant violated [" + audit + "]: " + err.Error())
+	}
+}

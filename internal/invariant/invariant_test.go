@@ -1,0 +1,37 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAssert(t *testing.T) {
+	Assert(true, "never fires")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "block 7") {
+			t.Fatalf("panic message %v lacks formatted detail", r)
+		}
+	}()
+	Assert(false, "block %d", 7)
+}
+
+func TestAssertNoErr(t *testing.T) {
+	AssertNoErr(nil, "gc-consistency")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AssertNoErr(err) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "gc-consistency") || !strings.Contains(msg, "boom") {
+			t.Fatalf("panic message %v lacks audit name or cause", r)
+		}
+	}()
+	AssertNoErr(errors.New("boom"), "gc-consistency")
+}

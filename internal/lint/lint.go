@@ -1,0 +1,200 @@
+// Package lint implements almalint, a domain-aware static analyzer for the
+// Almanac codebase. It machine-checks project conventions the Go compiler
+// cannot see: virtual time must flow through internal/vclock, randomness
+// must be explicitly seeded, the firmware layer boundary around raw flash
+// operations (DESIGN.md "Static analysis & invariants"), lock discipline in
+// the concurrent array/almaproto code, dropped errors, and map-iteration
+// ordering hazards that would break replay determinism.
+//
+// The analyzer is built entirely on the standard library (go/parser,
+// go/ast, go/types); see load.go for how packages are resolved without
+// golang.org/x/tools.
+//
+// A finding can be suppressed with an allow comment on the offending line
+// or the line directly above it:
+//
+//	//almalint:allow <rule-id> [reason...]
+//
+// Suppressions are meant for the documented exceptions only (e.g. wall-time
+// measurement in the harness); genuine violations should be fixed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+	Hint string `json:"hint,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Msg, f.Rule)
+	if f.Hint != "" {
+		s += "\n\thint: " + f.Hint
+	}
+	return s
+}
+
+// Rule is one self-contained check run over a type-checked package.
+type Rule interface {
+	// ID is the rule identifier used in reports and allow comments.
+	ID() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// Check reports violations found in pkg.
+	Check(pkg *Package) []Finding
+}
+
+// DefaultRules returns all six project rules in their production
+// configuration.
+func DefaultRules() []Rule {
+	return []Rule{
+		NewWallclock(),
+		NewSeededRand(),
+		NewLayering(),
+		NewLockHeld(),
+		NewCheckedErr(),
+		NewMapOrder(),
+	}
+}
+
+// Run applies rules to every package, drops findings suppressed by allow
+// comments, and returns the rest sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		allows := collectAllows(p)
+		for _, r := range rules {
+			for _, f := range r.Check(p) {
+				if allows.allowed(f.Rule, f.File, f.Line) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// allowSet records, per file and line, which rule IDs are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+// AllowPrefix introduces a suppression comment: //almalint:allow <rules...>
+const AllowPrefix = "almalint:allow"
+
+// collectAllows scans every comment in the package for allow directives.
+func collectAllows(p *Package) allowSet {
+	set := allowSet{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				// Rule IDs may be comma- or space-separated; anything after
+				// the ID list is free-form reason text, which starts at the
+				// first token that is not a known separator-joined ID — for
+				// simplicity every leading token is treated as an ID until
+				// one contains characters outside [a-z,].
+				for _, fld := range fields {
+					id := strings.Trim(fld, ",")
+					if !isRuleToken(id) {
+						break
+					}
+					rules[id] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+func isRuleToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// allowed reports whether rule is suppressed at file:line — by a directive
+// on the line itself or on the line directly above.
+func (s allowSet) allowed(rule, file string, line int) bool {
+	lines := s[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		if lines[l][rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// posOf converts a node position into Finding fields.
+func posOf(p *Package, n ast.Node) (string, int, int) {
+	pos := p.Fset.Position(n.Pos())
+	return pos.Filename, pos.Line, pos.Column
+}
+
+// finding builds a Finding anchored at node n.
+func finding(p *Package, n ast.Node, rule, msg, hint string) Finding {
+	file, line, col := posOf(p, n)
+	return Finding{Rule: rule, File: file, Line: line, Col: col, Msg: msg, Hint: hint}
+}
+
+// inTestdata reports whether the package is part of the analyzer's own
+// golden corpus. Corpus packages are lint targets by definition, so
+// package-scoped rules treat them as in scope regardless of their name.
+func inTestdata(importPath string) bool {
+	return strings.Contains(importPath, "internal/lint/testdata")
+}
+
+// lastSegment returns the final element of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

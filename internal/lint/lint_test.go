@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// newTestLoader builds one loader rooted at the module, shared across the
+// whole test binary: package type-checking (including the stdlib source
+// closure) is memoized on the loader.
+var testLoader *Loader
+
+func loaderFor(t *testing.T) *Loader {
+	t.Helper()
+	if testLoader == nil {
+		root, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testLoader = l
+	}
+	return testLoader
+}
+
+// wantMarkers scans a corpus package directory for "// want <rule>" line
+// markers and returns the expected rule@line set per file.
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, rule := range strings.Fields(text[idx+len("// want "):]) {
+				want[fmt.Sprintf("%s:%d:%s", path, line, rule)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+	}
+	return want
+}
+
+// TestGoldenCorpus runs the default rules over every testdata package and
+// compares findings against the // want markers, exercising all six rules.
+func TestGoldenCorpus(t *testing.T) {
+	l := loaderFor(t)
+	corpus := filepath.Join(l.ModuleDir, "internal", "lint", "testdata")
+	entries, err := os.ReadDir(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesSeen := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(corpus, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg, err := l.Load(dir)
+			if err != nil {
+				t.Fatalf("loading corpus package: %v", err)
+			}
+			findings := Run([]*Package{pkg}, DefaultRules())
+			if len(findings) == 0 {
+				t.Fatalf("corpus package %s produced no findings", e.Name())
+			}
+			got := map[string]bool{}
+			for _, f := range findings {
+				got[fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)] = true
+				rulesSeen[f.Rule] = true
+			}
+			want := wantMarkers(t, dir)
+			for key := range want {
+				if !got[key] {
+					t.Errorf("missing expected finding %s", key)
+				}
+			}
+			for key := range got {
+				if !want[key] {
+					t.Errorf("unexpected finding %s", key)
+				}
+			}
+		})
+	}
+	var all []string
+	for _, r := range DefaultRules() {
+		if !rulesSeen[r.ID()] {
+			all = append(all, r.ID())
+		}
+	}
+	if len(all) > 0 {
+		sort.Strings(all)
+		t.Errorf("rules not exercised by the corpus: %s", strings.Join(all, ", "))
+	}
+}
+
+// TestRepoIsClean is the self-check: the default rules over the whole
+// module must report nothing — every legitimate exception carries its
+// allow annotation, and everything else has been fixed.
+func TestRepoIsClean(t *testing.T) {
+	l := loaderFor(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings := Run(pkgs, DefaultRules())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAllowComment pins the suppression mechanics: same line and
+// line-above both work, and only for the named rule.
+func TestAllowComment(t *testing.T) {
+	set := allowSet{
+		"f.go": {
+			10: {"wallclock": true},
+		},
+	}
+	if !set.allowed("wallclock", "f.go", 10) {
+		t.Error("same-line allow not honored")
+	}
+	if !set.allowed("wallclock", "f.go", 11) {
+		t.Error("line-above allow not honored")
+	}
+	if set.allowed("seededrand", "f.go", 10) {
+		t.Error("allow leaked to a different rule")
+	}
+	if set.allowed("wallclock", "f.go", 12) {
+		t.Error("allow leaked two lines down")
+	}
+}

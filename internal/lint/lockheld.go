@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags channel operations and known blocking calls made while a
+// mutex is lexically held, in the packages that mix locks with worker
+// queues (array, almaproto). A send on a full submission queue while
+// holding a lock the consumer also needs is a classic deadlock that
+// go vet does not catch, and the race detector only finds if the schedule
+// cooperates. The analysis is lexical, as specified: a critical section is
+// the statements between x.Lock()/x.RLock() and the next matching
+// x.Unlock()/x.RUnlock() in the same statement list, or the rest of the
+// list after a defer-unlock. Blocking work inside a nested function
+// literal is not flagged — it runs on another goroutine's schedule.
+type LockHeld struct {
+	// Packages is the set of in-scope package base names. Nil selects the
+	// production set.
+	Packages map[string]bool
+}
+
+var lockHeldPackages = map[string]bool{"array": true, "almaproto": true}
+
+// NewLockHeld returns the rule in production configuration.
+func NewLockHeld() *LockHeld { return &LockHeld{} }
+
+func (r *LockHeld) ID() string { return "lockheld" }
+
+func (r *LockHeld) Doc() string {
+	return "no channel sends/receives, selects, or blocking waits while a mutex is lexically held"
+}
+
+func (r *LockHeld) inScope(importPath string) bool {
+	pkgs := r.Packages
+	if pkgs == nil {
+		pkgs = lockHeldPackages
+	}
+	return pkgs[lastSegment(importPath)] || inTestdata(importPath)
+}
+
+func (r *LockHeld) Check(p *Package) []Finding {
+	if !r.inScope(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, r.checkList(p, block.List)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkList scans one statement list for Lock()…Unlock() regions.
+func (r *LockHeld) checkList(p *Package, list []ast.Stmt) []Finding {
+	var out []Finding
+	for i := 0; i < len(list); i++ {
+		key, ok := lockCall(p, list[i], "Lock", "RLock")
+		if !ok {
+			continue
+		}
+		// Find the matching unlock at this nesting level.
+		end := len(list)
+		deferred := false
+		for j := i + 1; j < len(list); j++ {
+			if k, ok := lockCall(p, list[j], "Unlock", "RUnlock"); ok && k == key {
+				end = j
+				break
+			}
+			if d, ok := list[j].(*ast.DeferStmt); ok && j == i+1 {
+				if k, ok := deferUnlockKey(p, d); ok && k == key {
+					deferred = true
+				}
+			}
+		}
+		start := i + 1
+		if deferred {
+			start = i + 2 // skip the defer statement itself
+		}
+		for j := start; j < end; j++ {
+			out = append(out, r.blockingOps(p, list[j], key)...)
+		}
+		i = end // resume after the region; nested blocks are scanned separately
+	}
+	return out
+}
+
+// lockCall matches an expression statement `recv.M()` where M is one of
+// names and recv's type is a sync (rw)mutex or something that embeds one.
+// The returned key is the printed receiver expression.
+func lockCall(p *Package, s ast.Stmt, names ...string) (string, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return lockCallExpr(p, es.X, names...)
+}
+
+func deferUnlockKey(p *Package, d *ast.DeferStmt) (string, bool) {
+	return lockCallExpr(p, d.Call, "Unlock", "RUnlock")
+}
+
+func lockCallExpr(p *Package, e ast.Expr, names ...string) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return exprKey(p.Fset, sel.X), true
+}
+
+// exprKey renders an expression to a canonical string for matching the
+// lock receiver between Lock and Unlock.
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// blockingOps walks one statement (without descending into function
+// literals) and reports channel operations and known blocking calls.
+func (r *LockHeld) blockingOps(p *Package, s ast.Stmt, key string) []Finding {
+	var out []Finding
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own schedule
+		case *ast.SendStmt:
+			out = append(out, finding(p, n, r.ID(),
+				fmt.Sprintf("channel send while holding %s", key),
+				"move the send outside the critical section, or annotate with //almalint:allow lockheld <why this cannot deadlock>"))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, finding(p, n, r.ID(),
+					fmt.Sprintf("channel receive while holding %s", key),
+					"move the receive outside the critical section, or annotate with //almalint:allow lockheld <why this cannot deadlock>"))
+			}
+		case *ast.SelectStmt:
+			out = append(out, finding(p, n, r.ID(),
+				fmt.Sprintf("select while holding %s", key),
+				"move the select outside the critical section"))
+			return false // the select finding covers its comm clauses
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					out = append(out, finding(p, n, r.ID(),
+						fmt.Sprintf("range over channel while holding %s", key),
+						"move the channel drain outside the critical section"))
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+						out = append(out, finding(p, n, r.ID(),
+							fmt.Sprintf("sync.WaitGroup.Wait while holding %s", key),
+							"wait outside the critical section"))
+					}
+					if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+						out = append(out, finding(p, n, r.ID(),
+							fmt.Sprintf("time.Sleep while holding %s", key),
+							"sleep outside the critical section"))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

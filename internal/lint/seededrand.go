@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand PRNG everywhere in the module.
+// The global source is seeded once per process (and randomly since Go
+// 1.20), so any call to rand.Intn and friends makes harness runs and the
+// array replay path non-reproducible. Every consumer must thread an
+// explicit rand.New(rand.NewSource(seed)).
+type SeededRand struct{}
+
+// NewSeededRand returns the rule.
+func NewSeededRand() *SeededRand { return &SeededRand{} }
+
+func (r *SeededRand) ID() string { return "seededrand" }
+
+func (r *SeededRand) Doc() string {
+	return "global math/rand PRNG calls are forbidden; use an explicitly seeded rand.New(rand.NewSource(seed))"
+}
+
+// seededRandOK are the math/rand package-level functions that construct
+// seeded sources rather than consult the global PRNG.
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func (r *SeededRand) Check(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on *rand.Rand are fine: the source is explicit
+			}
+			if seededRandOK[fn.Name()] {
+				return true
+			}
+			out = append(out, finding(p, sel, r.ID(),
+				fmt.Sprintf("global PRNG call rand.%s is not reproducible", fn.Name()),
+				"use a local rng := rand.New(rand.NewSource(seed)) so runs are bit-reproducible"))
+			return true
+		})
+	}
+	return out
+}

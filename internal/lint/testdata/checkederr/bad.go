@@ -1,0 +1,26 @@
+// Package checkederrbad is a golden-corpus package for the checkederr rule.
+package checkederrbad
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Cleanup drops errors on the floor: forbidden as bare statements.
+func Cleanup(path string) {
+	os.Remove(path)     // want checkederr
+	os.Setenv("K", "V") // want checkederr
+	fail()              // want checkederr
+}
+
+func fail() error { return fmt.Errorf("boom") }
+
+// Explicit makes every discard visible: allowed.
+func Explicit(path string) {
+	_ = os.Remove(path)
+	defer os.Remove(path)
+	var sb strings.Builder
+	sb.WriteString("in-memory writers never fail") //nolint-style exclusion is built in
+	fmt.Println(sb.String())
+}

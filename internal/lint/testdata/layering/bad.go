@@ -1,0 +1,40 @@
+// Package layeringbad is a golden-corpus package for the layering rule: it
+// pokes raw flash operations and core mutation entry points from outside
+// the allowed layer sets.
+package layeringbad
+
+import (
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/vclock"
+)
+
+// RawProgram bypasses the FTL and programs flash directly: forbidden
+// outside internal/ftl and internal/core.
+func RawProgram(arr *flash.Array, at vclock.Time) error {
+	oob := flash.OOB{Kind: flash.KindData}
+	if _, _, err := arr.Program(0, nil, oob, at); err != nil { // want layering
+		return err
+	}
+	_, err := arr.Erase(0, at) // want layering
+	return err
+}
+
+// DirectWrite drives a member device directly instead of going through the
+// array or the ftl.Device interface: forbidden for internal packages
+// outside the declared layer set.
+func DirectWrite(dev *core.TimeSSD, at vclock.Time) error {
+	_, err := dev.Write(0, []byte("x"), at) // want layering
+	if err != nil {
+		return err
+	}
+	_, err = dev.Trim(0, at) // want layering
+	return err
+}
+
+// ReadsAreFine reads through the public query surface, which any layer may
+// use.
+func ReadsAreFine(arr *flash.Array, dev *core.TimeSSD, at vclock.Time) {
+	_, _, _ = arr.PeekPage(0)
+	_, _, _ = dev.Read(0, at)
+}

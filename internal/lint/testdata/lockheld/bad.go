@@ -1,0 +1,61 @@
+// Package lockheldbad is a golden-corpus package for the lockheld rule.
+package lockheldbad
+
+import "sync"
+
+// Q is a toy worker queue guarded by a mutex.
+type Q struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// SendUnderLock sends on a channel inside the critical section: if the
+// consumer needs mu, this deadlocks when ch is full.
+func (q *Q) SendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want lockheld
+	q.mu.Unlock()
+}
+
+// RecvUnderDeferredLock blocks on a receive while the deferred unlock
+// keeps mu held for the whole function.
+func (q *Q) RecvUnderDeferredLock() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want lockheld
+}
+
+// WaitUnderLock parks on a WaitGroup inside the critical section.
+func (q *Q) WaitUnderLock() {
+	q.mu.Lock()
+	q.wg.Wait() // want lockheld
+	q.mu.Unlock()
+}
+
+// SelectUnderLock multiplexes channels inside the critical section.
+func (q *Q) SelectUnderLock() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want lockheld
+	case v := <-q.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// SendOutsideLock is the fixed shape: snapshot under the lock, send after.
+func (q *Q) SendOutsideLock(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// GoroutineIsFine launches the blocking work on another goroutine, which
+// does not hold the lock.
+func (q *Q) GoroutineIsFine(v int) {
+	q.mu.Lock()
+	go func() { q.ch <- v }()
+	q.mu.Unlock()
+}

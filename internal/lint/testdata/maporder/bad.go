@@ -1,0 +1,41 @@
+// Package maporderbad is a golden-corpus package for the maporder rule.
+package maporderbad
+
+import "sort"
+
+// Keys returns map keys in random iteration order: a replay-determinism
+// hazard when the result is serialized or compared across runs.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts after the loop: deterministic, allowed.
+func SortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NamedResult appends into a named result without sorting: flagged.
+func NamedResult(m map[string]int) (vals []int) {
+	for _, v := range m { // want maporder
+		vals = append(vals, v)
+	}
+	return
+}
+
+// LocalUse aggregates without exposing ordering: allowed.
+func LocalUse(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package seededrandbad is a golden-corpus package for the seededrand rule.
+package seededrandbad
+
+import "math/rand"
+
+// GlobalDice consults the process-global PRNG: not reproducible.
+func GlobalDice() int {
+	return rand.Intn(6) // want seededrand
+}
+
+// GlobalFill uses more global helpers: all forbidden.
+func GlobalFill(b []byte) {
+	rand.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] }) // want seededrand
+	_ = rand.Float64()                                               // want seededrand
+}
+
+// SeededDice threads an explicit source: the required idiom.
+func SeededDice(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

@@ -1,0 +1,28 @@
+// Package wallclockbad is a golden-corpus package for the wallclock rule.
+// Corpus packages under internal/lint/testdata are in scope for every rule.
+package wallclockbad
+
+import "time"
+
+// Elapsed uses wall time inside simulated code: forbidden.
+func Elapsed() time.Duration {
+	start := time.Now() // want wallclock
+	Spin()
+	return time.Since(start) // want wallclock
+}
+
+// Spin sleeps on the wall clock: forbidden.
+func Spin() {
+	time.Sleep(time.Millisecond)   // want wallclock
+	<-time.After(time.Millisecond) // want wallclock
+}
+
+// Allowed demonstrates the escape hatch: the annotation suppresses the
+// finding on the next line.
+func Allowed() time.Time {
+	//almalint:allow wallclock corpus demonstration of the escape hatch
+	return time.Now()
+}
+
+// Pure uses only time.Duration arithmetic, which is fine.
+func Pure(d time.Duration) time.Duration { return d * 2 }

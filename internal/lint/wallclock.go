@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock time inside simulation packages. All
+// simulated latency must flow through internal/vclock's virtual time; a
+// single time.Now in a hot path silently couples results to the host
+// machine and destroys replay determinism (EagleTree's and Amber's core
+// trustworthiness requirement). Host-side packages (cmd/, examples/) are
+// out of scope: wall time is legitimate on the host side of the firmware
+// boundary.
+type Wallclock struct {
+	// Packages is the set of in-scope package base names. Nil selects the
+	// production set.
+	Packages map[string]bool
+	// Funcs is the set of forbidden functions in package time. Nil selects
+	// the default set.
+	Funcs map[string]bool
+}
+
+// simPackages is the production scope: every package that participates in
+// the simulation or serves it concurrently. harness and almaproto are
+// included — their few legitimate wall-clock uses (wall-time measurement,
+// network deadlines) carry //almalint:allow wallclock annotations.
+var simPackages = map[string]bool{
+	"flash": true, "vclock": true, "ftl": true, "core": true,
+	"bloom": true, "delta": true, "array": true, "fsim": true,
+	"trace": true, "apps": true, "ransom": true,
+	"harness": true, "almaproto": true, "timekits": true, "lzf": true,
+}
+
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NewWallclock returns the rule in production configuration.
+func NewWallclock() *Wallclock { return &Wallclock{} }
+
+func (r *Wallclock) ID() string { return "wallclock" }
+
+func (r *Wallclock) Doc() string {
+	return "time.Now/Since/Sleep and friends are forbidden in simulation packages; use internal/vclock virtual time"
+}
+
+func (r *Wallclock) inScope(importPath string) bool {
+	pkgs := r.Packages
+	if pkgs == nil {
+		pkgs = simPackages
+	}
+	return pkgs[lastSegment(importPath)] || inTestdata(importPath)
+}
+
+func (r *Wallclock) Check(p *Package) []Finding {
+	if !r.inScope(p.ImportPath) {
+		return nil
+	}
+	funcs := r.Funcs
+	if funcs == nil {
+		funcs = wallclockFuncs
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on time.Time etc. are pure
+			}
+			if !funcs[fn.Name()] {
+				return true
+			}
+			out = append(out, finding(p, sel, r.ID(),
+				fmt.Sprintf("wall-clock call time.%s in simulation package %s", fn.Name(), p.Pkg.Name()),
+				"route time through internal/vclock; if wall time is genuinely required, annotate with //almalint:allow wallclock <reason>"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lzf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLZFRoundTrip checks that Compress∘Decompress is the identity for any
+// input, and that the decoder's output bound is honored. The compressor
+// runs inside the GC's retained-data path, so a round-trip corruption here
+// would rewrite history rather than just lose a page.
+func FuzzLZFRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 4096))
+	f.Add(bytes.Repeat([]byte("0123456789abcdef"), 256))
+	// A run longer than the 264-byte max match plus a literal tail.
+	f.Add(append(bytes.Repeat([]byte{0xAA}, 600), []byte("tail-literal-bytes")...))
+	// Period exactly at the 8 KiB window boundary.
+	f.Add(bytes.Repeat([]byte("x"), 8192+32))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp := Compress(nil, src)
+		got, err := Decompress(nil, comp, len(src))
+		if err != nil {
+			t.Fatalf("Decompress of own output failed: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d bytes out", len(src), len(got))
+		}
+		if len(src) > 0 {
+			// The declared bound must be enforced, not advisory.
+			if _, err := Decompress(nil, comp, len(src)-1); err == nil {
+				t.Fatalf("Decompress accepted output larger than its bound")
+			}
+		}
+	})
+}
+
+// FuzzLZFDecompressArbitrary feeds arbitrary bytes to the decoder: it may
+// reject them, but must never panic or exceed the output bound.
+func FuzzLZFDecompressArbitrary(f *testing.F) {
+	f.Add([]byte{}, 16)
+	f.Add([]byte{0x00, 0x41}, 16)
+	f.Add([]byte{0xFF, 0x00, 0x00}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, maxOut int) {
+		if maxOut < 0 || maxOut > 1<<20 {
+			t.Skip()
+		}
+		out, err := Decompress(nil, data, maxOut)
+		if err == nil && len(out) > maxOut {
+			t.Fatalf("Decompress returned %d bytes, bound was %d", len(out), maxOut)
+		}
+	})
+}
