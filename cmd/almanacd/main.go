@@ -6,6 +6,14 @@
 //
 //	almanacd -listen 127.0.0.1:9521 -channels 8 -blocks 64 -pagesize 4096
 //	almanacd -shards 4                       # 4-way striped array
+//	almanacd -metrics-addr 127.0.0.1:9522    # expvar/pprof sidecar listener
+//
+// Observability is on by default (-obs=false disables it): the device
+// records per-operation latency histograms in both virtual device time
+// and host wall time, plus a ring of recent trace events. Clients fetch
+// them with the OpMetrics/OpTrace protocol commands (protocol v3); the
+// optional -metrics-addr listener additionally exposes the same snapshot
+// as expvar JSON together with the standard pprof handlers.
 //
 // With -shards N > 1 the logical address space is striped page-wise
 // across N identical TimeSSDs, each with its own worker, so commands to
@@ -48,6 +56,8 @@ func main() {
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	minRetention := flag.Duration("minretention", 0, "guaranteed retention lower bound (virtual)")
 	image := flag.String("image", "", "device image path: loaded on start (via firmware rebuild) and saved after graceful drain; arrays use one file per shard (path.shardK)")
+	obsOn := flag.Bool("obs", true, "record per-operation latency histograms and trace events (internal/obs)")
+	metricsAddr := flag.String("metrics-addr", "", "optional HTTP address for the expvar/pprof metrics listener (e.g. 127.0.0.1:9522)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -81,6 +91,7 @@ func main() {
 	if *shards == 1 {
 		// A one-shard deployment keeps the single-device firmware model:
 		// one command interpreter, one device lock.
+		devs[0].Obs().SetEnabled(*obsOn)
 		srv = almaproto.NewServer(devs[0])
 	} else {
 		var err error
@@ -88,12 +99,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		arr.SetObsEnabled(*obsOn)
 		srv = almaproto.NewArrayServer(arr)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metricsAddr != "" {
+		mln, err := startMetrics(*metricsAddr, srv.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mln.Close()
+		fmt.Printf("almanacd: metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", mln.Addr())
 	}
 	perShard := devs[0].Config().FTL.Flash
 	fmt.Printf("almanacd: serving a %d MiB TimeSSD array (%d shard(s) × %d channels, %d logical pages) on %s\n",

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"almanac/internal/obs"
+)
+
+// startMetrics exposes the operations surface over HTTP on addr, on a
+// private mux separate from the protocol port so it can be firewalled
+// independently:
+//
+//	/debug/vars    expvar JSON; the "almanac" variable holds the full
+//	               obs.Snapshot (counters plus per-class virtual- and
+//	               wall-time latency histograms)
+//	/debug/pprof/  standard Go profiling endpoints
+//
+// snapshot must be safe to call concurrently with protocol traffic; the
+// almaproto.Server's Metrics method provides that for both the single
+// device (firmware lock) and the array (lock-free shard snapshots).
+// Returns the bound listener so main can report the address.
+func startMetrics(addr string, snapshot func() obs.Snapshot) (net.Listener, error) {
+	expvar.Publish("almanac", expvar.Func(func() any { return snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		_ = (&http.Server{Handler: mux}).Serve(ln)
+	}()
+	return ln, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"almanac/internal/array"
 	"almanac/internal/core"
+	"almanac/internal/obs"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
@@ -17,6 +18,8 @@ import (
 type Backend interface {
 	Identify() Identity
 	Stats() DeviceStats
+	Metrics() obs.Snapshot
+	Trace(max int) []obs.Event
 
 	Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error)
 	Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, error)
@@ -63,17 +66,29 @@ func (b *deviceBackend) Identify() Identity {
 func (b *deviceBackend) Stats() DeviceStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	fs := b.dev.Arr.Stats()
-	ts := b.dev.TimeStats()
-	return DeviceStats{
-		HostPageWrites: b.dev.HostPageWrites,
-		HostPageReads:  b.dev.HostPageReads,
-		FlashPrograms:  fs.Programs,
-		FlashReads:     fs.Reads,
-		FlashErases:    fs.Erases,
-		DeltasCreated:  ts.DeltasCreated,
-		WindowDrops:    ts.WindowDrops,
+	return DeviceStatsView(b.dev.Counters())
+}
+
+func (b *deviceBackend) Metrics() obs.Snapshot {
+	// Counter and window state belong to the device and need the firmware
+	// lock; the histogram maps are read from the lock-free registry after
+	// release (obs calls must stay out of lock regions — almalint lockheld).
+	b.mu.Lock()
+	snap := obs.Snapshot{
+		Shards:        1,
+		WindowStartNS: int64(b.dev.RetentionWindowStart()),
+		Segments:      b.dev.Segments(),
+		C:             b.dev.Counters(),
 	}
+	reg := b.dev.Obs()
+	b.mu.Unlock()
+	snap.Ops = reg.Ops()
+	return snap
+}
+
+func (b *deviceBackend) Trace(max int) []obs.Event {
+	// The trace ring is lock-free by construction; no firmware lock.
+	return b.dev.Obs().Trace(max)
 }
 
 func (b *deviceBackend) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {
@@ -168,16 +183,15 @@ func (b *arrayBackend) Identify() Identity {
 }
 
 func (b *arrayBackend) Stats() DeviceStats {
-	st := b.arr.StatsView()
-	return DeviceStats{
-		HostPageWrites: st.HostPageWrites,
-		HostPageReads:  st.HostPageReads,
-		FlashPrograms:  st.FlashPrograms,
-		FlashReads:     st.FlashReads,
-		FlashErases:    st.FlashErases,
-		DeltasCreated:  st.Time.DeltasCreated,
-		WindowDrops:    st.Time.WindowDrops,
-	}
+	return DeviceStatsView(b.arr.StatsView())
+}
+
+func (b *arrayBackend) Metrics() obs.Snapshot {
+	return b.arr.ObsSnapshot()
+}
+
+func (b *arrayBackend) Trace(max int) []obs.Event {
+	return b.arr.TraceEvents(max)
 }
 
 func (b *arrayBackend) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) {

@@ -1,11 +1,14 @@
 package almaproto
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
 
 	"almanac/internal/core"
+	"almanac/internal/obs"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
@@ -14,8 +17,9 @@ import (
 // connection and exposes the same shapes the in-process TimeKits API does.
 // A Client is safe for concurrent use; commands serialise on the wire.
 type Client struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	version uint32 // negotiated protocol version; 0 until Identify runs
 }
 
 // Dial connects to an almanacd server.
@@ -57,11 +61,26 @@ func request(op Op) *enc {
 	return e
 }
 
-// Identify fetches device geometry and the retention window start.
+// Identify fetches device geometry and the retention window start, and
+// negotiates the protocol version: the client announces CurrentVersion,
+// the server replies with the agreed one. Servers from before the
+// negotiation revision reject the announcement as trailing request bytes;
+// Identify then falls back to the legacy bare request and records the
+// pre-negotiation wire level.
 func (c *Client) Identify() (Identity, error) {
-	d, err := c.roundTrip(request(OpIdentify).b)
+	e := request(OpIdentify)
+	e.u32(CurrentVersion)
+	d, err := c.roundTrip(e.b)
+	legacy := false
 	if err != nil {
-		return Identity{}, err
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			return Identity{}, err
+		}
+		legacy = true
+		if d, err = c.roundTrip(request(OpIdentify).b); err != nil {
+			return Identity{}, err
+		}
 	}
 	id := Identity{
 		PageSize:     int(d.u32()),
@@ -70,7 +89,34 @@ func (c *Client) Identify() (Identity, error) {
 		Shards:       int(d.u32()),
 		WindowStart:  d.time(),
 	}
-	return id, d.err
+	if !legacy && d.pos < len(d.b) {
+		id.Version = int(d.u32())
+	} else {
+		id.Version = VersionArray
+	}
+	if d.err != nil {
+		return Identity{}, d.err
+	}
+	c.mu.Lock()
+	c.version = uint32(id.Version)
+	c.mu.Unlock()
+	return id, nil
+}
+
+// negotiated returns the connection's protocol version, running Identify
+// first if no negotiation has happened yet.
+func (c *Client) negotiated() (uint32, error) {
+	c.mu.Lock()
+	v := c.version
+	c.mu.Unlock()
+	if v != 0 {
+		return v, nil
+	}
+	id, err := c.Identify()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(id.Version), nil
 }
 
 // Read fetches the current content of lpa.
@@ -260,4 +306,47 @@ func (c *Client) Stats() (DeviceStats, error) {
 		WindowDrops:    d.i64(),
 	}
 	return st, d.err
+}
+
+// requireVersion negotiates if needed and checks the agreed version
+// covers the requested surface.
+func (c *Client) requireVersion(min uint32, op Op) error {
+	v, err := c.negotiated()
+	if err != nil {
+		return err
+	}
+	if v < min {
+		return fmt.Errorf("almaproto: %v requires protocol v%d, server negotiated v%d", op, min, v)
+	}
+	return nil
+}
+
+// Metrics fetches the device's full observability snapshot: counters plus
+// per-class virtual- and wall-time histograms (protocol ≥ v3).
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	if err := c.requireVersion(VersionObs, OpMetrics); err != nil {
+		return obs.Snapshot{}, err
+	}
+	d, err := c.roundTrip(request(OpMetrics).b)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	s := decSnapshot(d)
+	return s, d.err
+}
+
+// Trace fetches up to max recent trace events, oldest first; max <= 0
+// requests everything the device's rings hold (protocol ≥ v3).
+func (c *Client) Trace(max int) ([]obs.Event, error) {
+	if err := c.requireVersion(VersionObs, OpTrace); err != nil {
+		return nil, err
+	}
+	e := request(OpTrace)
+	e.u32(uint32(max))
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return nil, err
+	}
+	evs := decEvents(d)
+	return evs, d.err
 }

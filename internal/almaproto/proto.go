@@ -15,6 +15,27 @@
 //	frame  := u32 bodyLen, body
 //	request body  := u8 opcode, payload…
 //	response body := u8 status (0 = OK), payload… | error string
+//
+// # Protocol revisions
+//
+// The revision rule: opcodes are append-only — a new command takes the
+// next free opcode value, and existing opcodes never change value or
+// payload shape. Servers may append new fields to the *end* of an
+// existing response payload only when every older client ignores trailing
+// response bytes for that opcode (the Identify negotiation below relies
+// on exactly this property). Request payloads are closed: servers reject
+// trailing request bytes, so extending a request requires a new opcode.
+//
+// Versions gate the opcode set. A client announces the highest version it
+// speaks in OpIdentify (a u32 after the opcode; absent for pre-v3
+// clients), the server replies with the agreed version — min(client max,
+// server max) — appended to the Identify response, and commands
+// introduced after the agreed version fail with an error naming it
+// instead of desynchronising the stream:
+//
+//	v1: OpIdentify … OpStats (single device)
+//	v2: + OpRollBackAll (array revision)
+//	v3: + version negotiation, OpMetrics, OpTrace (observability)
 package almaproto
 
 import (
@@ -24,6 +45,7 @@ import (
 	"io"
 
 	"almanac/internal/core"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -44,23 +66,62 @@ const (
 	OpRollBack
 	OpRollBackParallel
 	OpStats
-	// OpRollBackAll was added with the array protocol revision; it sits
-	// after OpStats so every pre-existing opcode keeps its value.
+	// OpRollBackAll was added with the array protocol revision (v2); per
+	// the append-only rule it sits after OpStats so every pre-existing
+	// opcode keeps its value.
 	OpRollBackAll
+	// OpMetrics and OpTrace are the v3 observability surface; both
+	// require a negotiated version ≥ VersionObs.
+	OpMetrics
+	OpTrace
+)
+
+// Protocol versions (see the package documentation for the revision
+// rule). CurrentVersion is the highest version this build speaks.
+const (
+	Version1       = 1 // single-device command set, through OpStats
+	VersionArray   = 2 // + OpRollBackAll
+	VersionObs     = 3 // + Identify negotiation, OpMetrics, OpTrace
+	CurrentVersion = VersionObs
 )
 
 func (o Op) String() string {
-	names := map[Op]string{
-		OpIdentify: "Identify", OpRead: "Read", OpWrite: "Write", OpTrim: "Trim",
-		OpAddrQuery: "AddrQuery", OpAddrQueryRange: "AddrQueryRange", OpAddrQueryAll: "AddrQueryAll",
-		OpTimeQuery: "TimeQuery", OpTimeQueryRange: "TimeQueryRange", OpTimeQueryAll: "TimeQueryAll",
-		OpRollBack: "RollBack", OpRollBackParallel: "RollBackParallel", OpStats: "Stats",
-		OpRollBackAll: "RollBackAll",
+	switch o {
+	case OpIdentify:
+		return "Identify"
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpTrim:
+		return "Trim"
+	case OpAddrQuery:
+		return "AddrQuery"
+	case OpAddrQueryRange:
+		return "AddrQueryRange"
+	case OpAddrQueryAll:
+		return "AddrQueryAll"
+	case OpTimeQuery:
+		return "TimeQuery"
+	case OpTimeQueryRange:
+		return "TimeQueryRange"
+	case OpTimeQueryAll:
+		return "TimeQueryAll"
+	case OpRollBack:
+		return "RollBack"
+	case OpRollBackParallel:
+		return "RollBackParallel"
+	case OpStats:
+		return "Stats"
+	case OpRollBackAll:
+		return "RollBackAll"
+	case OpMetrics:
+		return "Metrics"
+	case OpTrace:
+		return "Trace"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
-	if n, ok := names[o]; ok {
-		return n
-	}
-	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
 // maxFrame bounds a frame body; large enough for a full-device TimeQuery
@@ -244,18 +305,23 @@ func decRecords(d *dec) []core.UpdateRecord {
 // Identity describes the device to the host. Shards advertises the
 // backing topology (1 for a single device, N for an array); Channels is
 // the total flash channel count across all shards — the device-internal
-// parallelism TimeKits callers can exploit.
+// parallelism TimeKits callers can exploit. Version is the negotiated
+// protocol version for the connection Identify ran on.
 type Identity struct {
 	PageSize     int
 	LogicalPages int
 	Channels     int
 	Shards       int
 	WindowStart  vclock.Time
+	Version      int
 }
 
-// DeviceStats is the counter snapshot OpStats returns. (The retention
-// window's start is part of Identify, since it is a point in virtual time
-// rather than a counter.)
+// DeviceStats is the counter snapshot OpStats returns. It predates the
+// obs.Counters collapse and survives as the OpStats wire adapter: the
+// seven fields below, as i64 in this order, are the frozen v1 payload
+// (DeviceStatsView projects them out of the canonical counters; OpMetrics
+// carries the full set). The retention window's start is part of
+// Identify, since it is a point in virtual time rather than a counter.
 type DeviceStats struct {
 	HostPageWrites int64
 	HostPageReads  int64
@@ -264,4 +330,174 @@ type DeviceStats struct {
 	FlashErases    int64
 	DeltasCreated  int64
 	WindowDrops    int64
+}
+
+// DeviceStatsView projects the legacy OpStats counter set out of the
+// canonical counter surface.
+func DeviceStatsView(c obs.Counters) DeviceStats {
+	return DeviceStats{
+		HostPageWrites: c.HostPageWrites,
+		HostPageReads:  c.HostPageReads,
+		FlashPrograms:  c.FlashPrograms,
+		FlashReads:     c.FlashReads,
+		FlashErases:    c.FlashErases,
+		DeltasCreated:  c.DeltasCreated,
+		WindowDrops:    c.WindowDrops,
+	}
+}
+
+// encCounters writes the full counter surface as 20 i64 values in
+// obs.Counters declaration order. The sequence is part of the v3 payload;
+// additions to obs.Counters require a protocol revision.
+func encCounters(e *enc, c obs.Counters) {
+	for _, v := range counterSeq(c) {
+		e.i64(v)
+	}
+}
+
+func decCounters(d *dec) obs.Counters {
+	var c obs.Counters
+	seq := counterSeq(c)
+	for i := range seq {
+		seq[i] = d.i64()
+	}
+	c.HostPageWrites, c.HostPageReads, c.TrimOps = seq[0], seq[1], seq[2]
+	c.FlashReads, c.FlashPrograms, c.FlashErases = seq[3], seq[4], seq[5]
+	c.GCRuns, c.GCReads, c.GCWrites, c.GCErases, c.GCDeltaOps = seq[6], seq[7], seq[8], seq[9], seq[10]
+	c.ReadFailures = seq[11]
+	c.Invalidations, c.DeltasCreated, c.DeltaPagesWritten = seq[12], seq[13], seq[14]
+	c.ExpiredReclaimed, c.WindowDrops, c.IdleCompressions = seq[15], seq[16], seq[17]
+	c.EstimatorChecks, c.EstimatorTrips = seq[18], seq[19]
+	return c
+}
+
+func counterSeq(c obs.Counters) []int64 {
+	return []int64{
+		c.HostPageWrites, c.HostPageReads, c.TrimOps,
+		c.FlashReads, c.FlashPrograms, c.FlashErases,
+		c.GCRuns, c.GCReads, c.GCWrites, c.GCErases, c.GCDeltaOps,
+		c.ReadFailures,
+		c.Invalidations, c.DeltasCreated, c.DeltaPagesWritten,
+		c.ExpiredReclaimed, c.WindowDrops, c.IdleCompressions,
+		c.EstimatorChecks, c.EstimatorTrips,
+	}
+}
+
+func encHist(e *enc, h obs.HistSnapshot) {
+	e.i64(h.Count)
+	e.i64(h.SumNS)
+	e.i64(h.MaxNS)
+	e.u32(uint32(len(h.Buckets)))
+	for _, n := range h.Buckets {
+		e.i64(n)
+	}
+}
+
+func decHist(d *dec) obs.HistSnapshot {
+	var h obs.HistSnapshot
+	h.Count, h.SumNS, h.MaxNS = d.i64(), d.i64(), d.i64()
+	n := int(d.u32())
+	if d.err != nil || n > 1024 {
+		d.err = ErrShortPayload
+		return obs.HistSnapshot{}
+	}
+	// A peer built with a different bucket count still parses; buckets
+	// beyond ours fold into the unbounded last bucket.
+	for i := 0; i < n; i++ {
+		v := d.i64()
+		j := i
+		if j >= len(h.Buckets) {
+			j = len(h.Buckets) - 1
+			h.Buckets[j] += v
+			continue
+		}
+		h.Buckets[j] = v
+	}
+	return h
+}
+
+// encSnapshot writes an obs.Snapshot; per-class entries are emitted in
+// sorted name order, making the encoding deterministic.
+func encSnapshot(e *enc, s obs.Snapshot) {
+	e.u32(uint32(s.Shards))
+	e.i64(s.WindowStartNS)
+	e.u32(uint32(s.Segments))
+	encCounters(e, s.C)
+	names := obs.SortedOpNames(s.Ops)
+	e.u32(uint32(len(names)))
+	for _, name := range names {
+		st := s.Ops[name]
+		e.bytes([]byte(name))
+		e.i64(st.Count)
+		e.i64(st.Errors)
+		encHist(e, st.Virt)
+		encHist(e, st.Wall)
+	}
+}
+
+func decSnapshot(d *dec) obs.Snapshot {
+	s := obs.Snapshot{
+		Shards:        int(d.u32()),
+		WindowStartNS: d.i64(),
+		Segments:      int(d.u32()),
+		C:             decCounters(d),
+	}
+	n := int(d.u32())
+	if d.err != nil || n > 1024 {
+		d.err = ErrShortPayload
+		return obs.Snapshot{}
+	}
+	if n > 0 {
+		s.Ops = make(map[string]obs.OpStats, n)
+	}
+	for i := 0; i < n; i++ {
+		name := string(d.bytes())
+		st := obs.OpStats{Count: d.i64(), Errors: d.i64()}
+		st.Virt = decHist(d)
+		st.Wall = decHist(d)
+		if d.err != nil {
+			return obs.Snapshot{}
+		}
+		s.Ops[name] = st
+	}
+	return s
+}
+
+func encEvents(e *enc, evs []obs.Event) {
+	e.u32(uint32(len(evs)))
+	for _, ev := range evs {
+		e.u8(uint8(ev.Class))
+		e.u32(uint32(ev.Shard))
+		if ev.OK {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u64(ev.LPA)
+		e.i64(ev.IssueNS)
+		e.i64(ev.DoneNS)
+	}
+}
+
+func decEvents(d *dec) []obs.Event {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		return nil
+	}
+	out := make([]obs.Event, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		ev := obs.Event{
+			Class: obs.Class(d.u8()),
+			Shard: int(d.u32()),
+			OK:    d.u8() == 1,
+			LPA:   d.u64(),
+		}
+		ev.IssueNS = d.i64()
+		ev.DoneNS = d.i64()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, ev)
+	}
+	return out
 }

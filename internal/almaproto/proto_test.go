@@ -236,18 +236,19 @@ func TestWireFuzz(t *testing.T) {
 	dev := newDevice(t)
 	srv := NewServer(dev)
 	rng := rand.New(rand.NewSource(11))
+	st := newConnState()
 	for i := 0; i < 2000; i++ {
 		n := rng.Intn(64)
 		body := make([]byte, n)
 		rng.Read(body)
-		resp := srv.dispatch(body)
+		resp := srv.dispatch(st, body)
 		if len(resp) == 0 {
 			t.Fatalf("fuzz %d: empty response", i)
 		}
 		if resp[0] == 0 {
 			// A random body that parses cleanly must at least be a real
 			// opcode with fully-consumed payload; spot-check legality.
-			if n == 0 || Op(body[0]) > OpRollBackAll || Op(body[0]) == 0 {
+			if n == 0 || Op(body[0]) > OpTrace || Op(body[0]) == 0 {
 				t.Fatalf("fuzz %d: garbage accepted: % x", i, body)
 			}
 		}

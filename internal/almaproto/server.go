@@ -9,6 +9,7 @@ import (
 
 	"almanac/internal/array"
 	"almanac/internal/core"
+	"almanac/internal/obs"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
@@ -51,6 +52,11 @@ func NewServer(dev *core.TimeSSD) *Server {
 func NewArrayServer(arr *array.Array) *Server {
 	return &Server{backend: &arrayBackend{arr: arr}, conns: make(map[net.Conn]struct{})}
 }
+
+// Metrics returns the backend's observability snapshot through the same
+// synchronisation the wire path uses. The daemon's -metrics-addr HTTP
+// listener reads through here rather than touching the device directly.
+func (s *Server) Metrics() obs.Snapshot { return s.backend.Metrics() }
 
 // Serve accepts connections on ln until Close or Shutdown. It blocks.
 func (s *Server) Serve(ln net.Listener) error {
@@ -118,13 +124,24 @@ func (s *Server) Shutdown() error {
 	return err
 }
 
+// connState is the per-connection protocol state. Until a client
+// identifies itself, it is assumed to speak the pre-negotiation wire
+// level (VersionArray): every opcode that predates v3 works, the v3
+// surface is gated.
+type connState struct {
+	version uint32
+}
+
+func newConnState() *connState { return &connState{version: VersionArray} }
+
 func (s *Server) serveConn(conn net.Conn) {
+	st := newConnState()
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
 			return // EOF, broken peer, or drain deadline
 		}
-		resp := s.dispatch(body)
+		resp := s.dispatch(st, body)
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
@@ -132,7 +149,7 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch executes one command body and builds the response body.
-func (s *Server) dispatch(body []byte) []byte {
+func (s *Server) dispatch(st *connState, body []byte) []byte {
 	fail := func(err error) []byte {
 		e := &enc{}
 		e.u8(1)
@@ -151,12 +168,33 @@ func (s *Server) dispatch(body []byte) []byte {
 
 	switch op {
 	case OpIdentify:
+		// v3 clients announce their maximum version; a bare request is a
+		// pre-v3 client and pins the connection at the legacy level. The
+		// agreed version is appended to the response — legacy clients
+		// ignore trailing response bytes, so the extension is compatible.
+		if d.pos < len(d.b) {
+			clientMax := d.u32()
+			if d.err != nil {
+				return fail(d.err)
+			}
+			v := clientMax
+			if v > CurrentVersion {
+				v = CurrentVersion
+			}
+			if v < Version1 {
+				v = Version1
+			}
+			st.version = v
+		} else {
+			st.version = VersionArray
+		}
 		id := b.Identify()
 		e.u32(uint32(id.PageSize))
 		e.u64(uint64(id.LogicalPages))
 		e.u32(uint32(id.Channels))
 		e.u32(uint32(id.Shards))
 		e.time(id.WindowStart)
+		e.u32(st.version)
 
 	case OpRead:
 		lpa, at := d.u64(), d.time()
@@ -307,8 +345,27 @@ func (s *Server) dispatch(body []byte) []byte {
 		e.i64(st.DeltasCreated)
 		e.i64(st.WindowDrops)
 
+	case OpMetrics:
+		if st.version < VersionObs {
+			return fail(fmt.Errorf("almaproto: %v requires protocol v%d, connection negotiated v%d",
+				op, VersionObs, st.version))
+		}
+		encSnapshot(e, b.Metrics())
+
+	case OpTrace:
+		max := int(d.u32())
+		if d.err != nil {
+			return fail(d.err)
+		}
+		if st.version < VersionObs {
+			return fail(fmt.Errorf("almaproto: %v requires protocol v%d, connection negotiated v%d",
+				op, VersionObs, st.version))
+		}
+		encEvents(e, b.Trace(max))
+
 	default:
-		return fail(fmt.Errorf("almaproto: unknown opcode %d", body[0]))
+		return fail(fmt.Errorf("almaproto: unknown opcode %d (connection negotiated protocol v%d)",
+			body[0], st.version))
 	}
 	if d.pos != len(d.b) {
 		return fail(fmt.Errorf("almaproto: %v: %d trailing payload bytes", op, len(d.b)-d.pos))
@@ -318,12 +375,13 @@ func (s *Server) dispatch(body []byte) []byte {
 
 // ServeOne handles exactly one connection (for tests over net.Pipe).
 func (s *Server) ServeOne(conn io.ReadWriter) {
+	st := newConnState()
 	for {
 		body, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		if err := writeFrame(conn, s.dispatch(body)); err != nil {
+		if err := writeFrame(conn, s.dispatch(st, body)); err != nil {
 			return
 		}
 	}

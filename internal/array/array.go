@@ -26,11 +26,13 @@ package array
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"almanac/internal/core"
 	"almanac/internal/ftl"
+	"almanac/internal/obs"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
@@ -87,17 +89,14 @@ type Cmd struct {
 func (c *Cmd) Wait() { <-c.done }
 
 // Snapshot is the lock-free per-shard state view republished by the worker
-// after every command (see StatsView).
+// after every command (see StatsView): the retention-window header plus
+// the canonical counter surface. Histograms are not part of the published
+// snapshot — they live in the shard's obs registry, which is safe to read
+// lock-free at any time (see ObsSnapshot).
 type Snapshot struct {
-	WindowStart    vclock.Time
-	Segments       int
-	HostPageWrites int64
-	HostPageReads  int64
-	TrimOps        int64
-	FlashReads     int64
-	FlashPrograms  int64
-	FlashErases    int64
-	Time           core.Stats
+	WindowStart vclock.Time
+	Segments    int
+	C           obs.Counters
 }
 
 // shard is one member device plus its worker plumbing.
@@ -178,6 +177,7 @@ func (a *Array) addShard(dev *core.TimeSSD) {
 		kit: timekits.New(dev),
 		sq:  make(chan *Cmd, a.cfg.QueueDepth),
 	}
+	dev.Obs().SetShard(s.id)
 	s.snap.Store(snapshotOf(dev))
 	a.shards = append(a.shards, s)
 	a.wg.Add(1)
@@ -244,17 +244,10 @@ func (s *shard) exec(c *Cmd) {
 }
 
 func snapshotOf(dev *core.TimeSSD) *Snapshot {
-	fs := dev.Arr.Stats()
 	return &Snapshot{
-		WindowStart:    dev.RetentionWindowStart(),
-		Segments:       dev.Segments(),
-		HostPageWrites: dev.HostPageWrites,
-		HostPageReads:  dev.HostPageReads,
-		TrimOps:        dev.TrimOps,
-		FlashReads:     fs.Reads,
-		FlashPrograms:  fs.Programs,
-		FlashErases:    fs.Erases,
-		Time:           dev.TimeStats(),
+		WindowStart: dev.RetentionWindowStart(),
+		Segments:    dev.Segments(),
+		C:           dev.Counters(),
 	}
 }
 
@@ -393,43 +386,66 @@ func (a *Array) Idle(now, until vclock.Time) {
 
 // ---- observability --------------------------------------------------------
 
-// Stats aggregates counters over the whole array.
-type Stats struct {
-	HostPageWrites int64
-	HostPageReads  int64
-	TrimOps        int64
-	FlashReads     int64
-	FlashPrograms  int64
-	FlashErases    int64
-	Time           core.Stats // summed TimeSSD counters
-}
-
-func addTimeStats(dst *core.Stats, s core.Stats) {
-	dst.Invalidations += s.Invalidations
-	dst.DeltasCreated += s.DeltasCreated
-	dst.DeltaPagesWritten += s.DeltaPagesWritten
-	dst.ExpiredReclaimed += s.ExpiredReclaimed
-	dst.WindowDrops += s.WindowDrops
-	dst.IdleCompressions += s.IdleCompressions
-	dst.EstimatorChecks += s.EstimatorChecks
-	dst.EstimatorTrips += s.EstimatorTrips
-}
-
-// StatsView sums the per-shard snapshots without queueing: the view is
-// lock-free and may trail in-flight commands by at most one per shard.
-func (a *Array) StatsView() Stats {
-	var out Stats
+// StatsView sums the per-shard counter snapshots without queueing: the
+// view is lock-free and may trail in-flight commands by at most one per
+// shard.
+func (a *Array) StatsView() obs.Counters {
+	var out obs.Counters
 	for _, s := range a.shards {
-		sn := s.snap.Load()
-		out.HostPageWrites += sn.HostPageWrites
-		out.HostPageReads += sn.HostPageReads
-		out.TrimOps += sn.TrimOps
-		out.FlashReads += sn.FlashReads
-		out.FlashPrograms += sn.FlashPrograms
-		out.FlashErases += sn.FlashErases
-		addTimeStats(&out.Time, sn.Time)
+		out.Add(s.snap.Load().C)
 	}
 	return out
+}
+
+// SetObsEnabled switches histogram and trace recording on every shard.
+// Registries are lock-free, so the flip needs no queueing; commands in
+// flight during the transition may be partially recorded.
+func (a *Array) SetObsEnabled(on bool) {
+	for _, s := range a.shards {
+		s.dev.Obs().SetEnabled(on)
+	}
+}
+
+// ObsSnapshot merges every shard's published counters and lock-free
+// histogram state into one array-wide snapshot. Shards are visited in
+// index order and per-class maps merge over sorted keys, so two calls
+// against the same per-shard states produce identical snapshots.
+func (a *Array) ObsSnapshot() obs.Snapshot {
+	var out obs.Snapshot
+	for _, s := range a.shards {
+		sn := s.snap.Load()
+		out.Merge(obs.Snapshot{
+			Shards:        1,
+			WindowStartNS: int64(sn.WindowStart),
+			Segments:      sn.Segments,
+			C:             sn.C,
+			Ops:           s.dev.Obs().Ops(),
+		})
+	}
+	return out
+}
+
+// TraceEvents merges the per-shard trace rings, ordered by virtual
+// completion time (ties break on issue time, then shard), keeping the
+// latest max events. max <= 0 means everything the rings hold.
+func (a *Array) TraceEvents(max int) []obs.Event {
+	var all []obs.Event
+	for _, s := range a.shards {
+		all = append(all, s.dev.Obs().Trace(0)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].DoneNS != all[j].DoneNS {
+			return all[i].DoneNS < all[j].DoneNS
+		}
+		if all[i].IssueNS != all[j].IssueNS {
+			return all[i].IssueNS < all[j].IssueNS
+		}
+		return all[i].Shard < all[j].Shard
+	})
+	if max > 0 && len(all) > max {
+		all = all[len(all)-max:]
+	}
+	return all
 }
 
 // ShardSnapshot returns shard i's latest published snapshot (lock-free).
@@ -451,11 +467,11 @@ func (a *Array) RetentionWindowStart() vclock.Time {
 
 // WriteAmplification returns array-wide flash programs / host page writes.
 func (a *Array) WriteAmplification() float64 {
-	st := a.StatsView()
-	if st.HostPageWrites == 0 {
+	c := a.StatsView()
+	if c.HostPageWrites == 0 {
 		return 0
 	}
-	return float64(st.FlashPrograms) / float64(st.HostPageWrites)
+	return float64(c.FlashPrograms) / float64(c.HostPageWrites)
 }
 
 // Barrier waits until every command submitted before the call has

@@ -3,11 +3,13 @@ package array
 import (
 	"bytes"
 	"reflect"
+	"sync"
 	"testing"
 
 	"almanac/internal/core"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
+	"almanac/internal/obs"
 	"almanac/internal/timekits"
 	"almanac/internal/trace"
 	"almanac/internal/vclock"
@@ -118,7 +120,7 @@ func TestStripeRoundTrip(t *testing.T) {
 		}
 	}
 	for i := 0; i < a.Shards(); i++ {
-		if w := a.ShardSnapshot(i).HostPageWrites; w != int64(total)/int64(a.Shards()) {
+		if w := a.ShardSnapshot(i).C.HostPageWrites; w != int64(total)/int64(a.Shards()) {
 			t.Fatalf("shard %d absorbed %d writes, want %d", i, w, total/uint64(a.Shards()))
 		}
 	}
@@ -268,7 +270,7 @@ func TestRollBackAllMatchesSingleDevice(t *testing.T) {
 // 4-shard arrays: aggregate stats and every per-shard snapshot must be
 // bit-identical regardless of how the scheduler interleaved the workers.
 func TestDeterministicReplay(t *testing.T) {
-	run := func() (Stats, []Snapshot, *trace.RunStats) {
+	run := func() (obs.Counters, []Snapshot, *trace.RunStats) {
 		a := newTestArray(t, 4)
 		gen := trace.NewContentGen(a.PageSize(), trace.ContentSimilar, 7)
 		footprint := uint64(a.LogicalPages()) / 2
@@ -313,6 +315,94 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	if st1.HostPageWrites == 0 || st1.TrimOps == 0 {
 		t.Fatalf("trace exercised nothing: %+v", st1)
+	}
+}
+
+// TestObsConcurrentWithIO hammers the observability layer from every
+// side at once — writers and readers on all shards, plus goroutines
+// pulling array-wide snapshots and traces mid-flight. Run under -race
+// this is the proof that registries need no caller locking; the final
+// quiesced snapshot must satisfy the count-consistency invariant.
+func TestObsConcurrentWithIO(t *testing.T) {
+	a := newTestArray(t, 4)
+	a.SetObsEnabled(true)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := a.ObsSnapshot()
+				if snap.Shards != 4 {
+					t.Errorf("mid-flight snapshot has %d shards", snap.Shards)
+					return
+				}
+				_ = a.TraceEvents(16)
+			}
+		}()
+	}
+
+	workers := 4
+	perWorker := uint64(a.LogicalPages() / workers)
+	iters := 200
+	if int(perWorker) < iters {
+		iters = int(perWorker)
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			base := uint64(w) * perWorker
+			at := vclock.Time(vclock.Second)
+			for i := 0; i < iters; i++ {
+				lpa := base + uint64(i)
+				done, err := a.Write(lpa, testPage(a, byte(i)), at)
+				if err != nil {
+					t.Errorf("worker %d write %d: %v", w, lpa, err)
+					return
+				}
+				if _, _, err := a.Read(lpa, done.Add(vclock.Second)); err != nil {
+					t.Errorf("worker %d read %d: %v", w, lpa, err)
+					return
+				}
+				at = done.Add(2 * vclock.Second)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := a.ObsSnapshot()
+	total := int64(workers * iters)
+	if snap.C.HostPageWrites != total || snap.C.HostPageReads != total {
+		t.Fatalf("counters: %d writes / %d reads, want %d each", snap.C.HostPageWrites, snap.C.HostPageReads, total)
+	}
+	if got := snap.Ops["host-write"].Count; got != total {
+		t.Fatalf("host-write histogram count %d != %d writes", got, total)
+	}
+	if got := snap.Ops["host-read"].Count; got != total {
+		t.Fatalf("host-read histogram count %d != %d reads", got, total)
+	}
+	if got := snap.Ops["flash-program"].Count; got != snap.C.FlashPrograms {
+		t.Fatalf("flash-program histogram count %d != counter %d", got, snap.C.FlashPrograms)
+	}
+	evs := a.TraceEvents(0)
+	if len(evs) == 0 {
+		t.Fatal("no trace events after concurrent IO")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].DoneNS < evs[i-1].DoneNS {
+			t.Fatalf("merged trace not chronological at %d", i)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
 	"almanac/internal/invariant"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -100,7 +101,9 @@ func (t *TimeSSD) cheapReclaimDeficit() bool {
 // collectOnce is one pass of Algorithm 1 plus, under almanacdebug, a deep
 // cross-consistency audit of the structures GC just touched.
 func (t *TimeSSD) collectOnce(at vclock.Time) (vclock.Time, error) {
+	ws := t.obs.Start()
 	done, err := t.collectOncePass(at)
+	t.obs.Record(obs.GCPass, 0, int64(at), int64(done), ws, err == nil)
 	if invariant.Enabled && err == nil {
 		// CheckInvariants is O(device); auditing every few GC passes keeps
 		// debug-tag test runs tractable while still catching corruption
@@ -353,9 +356,11 @@ func (t *TimeSSD) flushSegment(seg *segment, at vclock.Time) (vclock.Time, error
 	if page == nil {
 		return at, nil
 	}
+	ws := t.obs.Start()
 	oob := flash.OOB{LPA: deltaPageLPA, BackPtr: flash.NullPPA, TS: at, Kind: flash.KindDelta}
 	ppa, done, err := t.programDeltaPage(seg, page, oob, at)
 	if err != nil {
+		t.obs.Record(obs.DeltaFlush, 0, int64(at), int64(at), ws, false)
 		// The buffer was already drained by Flush. Put the deltas back so
 		// the retained versions are not silently lost and the pending index
 		// stays consistent with the buffer contents (a stale pending entry
@@ -375,6 +380,7 @@ func (t *TimeSSD) flushSegment(seg *segment, at vclock.Time) (vclock.Time, error
 		}
 	}
 	t.st.DeltaPagesWritten++
+	t.obs.Record(obs.DeltaFlush, 0, int64(at), int64(done), ws, true)
 	return done, nil
 }
 

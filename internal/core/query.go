@@ -5,6 +5,7 @@ import (
 
 	"almanac/internal/delta"
 	"almanac/internal/flash"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -321,6 +322,14 @@ func (t *TimeSSD) UpdatedBetween(from, to vclock.Time, at vclock.Time) ([]Update
 // another version, so nothing retrievable is lost. If the page had no
 // content at `when`, the LPA is trimmed.
 func (t *TimeSSD) RollBack(lpa uint64, when, at vclock.Time) (vclock.Time, error) {
+	ws := t.obs.Start()
+	issue := at
+	done, err := t.rollBackOne(lpa, when, at)
+	t.obs.Record(obs.Rollback, lpa, int64(issue), int64(done), ws, err == nil)
+	return done, err
+}
+
+func (t *TimeSSD) rollBackOne(lpa uint64, when, at vclock.Time) (vclock.Time, error) {
 	v, done, err := t.VersionAt(lpa, when, at)
 	if err != nil {
 		return done, err
@@ -340,6 +349,16 @@ func (t *TimeSSD) RollBack(lpa uint64, when, at vclock.Time) (vclock.Time, error
 // write-intensive and may legitimately fail with ErrRetentionFull if it
 // would violate the minimum retention guarantee (§3.9).
 func (t *TimeSSD) RollBackAll(when, at vclock.Time) (int, vclock.Time, error) {
+	ws := t.obs.Start()
+	issue := at
+	changed, done, err := t.rollBackAll(when, at)
+	// One trace event spans the whole device rollback; the per-LPA writes
+	// and trims it issued were recorded under their own classes.
+	t.obs.Record(obs.Rollback, 0, int64(issue), int64(done), ws, err == nil)
+	return changed, done, err
+}
+
+func (t *TimeSSD) rollBackAll(when, at vclock.Time) (int, vclock.Time, error) {
 	changed := 0
 	for _, lpa := range t.CandidateLPAs() {
 		v, done, err := t.VersionAt(lpa, when, at)

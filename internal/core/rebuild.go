@@ -51,6 +51,7 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	if err := t.initCipher(); err != nil {
 		return nil, err
 	}
+	t.attachObs()
 
 	fc := cfg.FTL.Flash
 	ps := fc.PagesPerBlock

@@ -24,6 +24,7 @@ import (
 	"almanac/internal/delta"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -208,7 +209,8 @@ type TimeSSD struct {
 
 	gcAudits int64 // almanacdebug: GC passes since the last deep audit
 
-	st Stats
+	st  Stats
+	obs *obs.Registry
 }
 
 var _ ftl.Device = (*TimeSSD)(nil)
@@ -245,8 +247,20 @@ func New(cfg Config) (*TimeSSD, error) {
 	if err := t.initCipher(); err != nil {
 		return nil, err
 	}
+	t.attachObs()
 	return t, nil
 }
+
+// attachObs creates the device's observability registry (disabled until a
+// caller opts in) and shares it with the flash layer so flash
+// micro-operations land in the same per-device histograms.
+func (t *TimeSSD) attachObs() {
+	t.obs = obs.NewRegistry()
+	t.Arr.SetObserver(t.obs)
+}
+
+// Obs returns the device's observability registry.
+func (t *TimeSSD) Obs() *obs.Registry { return t.obs }
 
 func (t *TimeSSD) newSegment() *segment {
 	return &segment{buf: delta.NewBuffer(t.cfg.FTL.Flash.PageSize), activeBlk: -1}
@@ -255,8 +269,52 @@ func (t *TimeSSD) newSegment() *segment {
 // Config returns the instance configuration.
 func (t *TimeSSD) Config() Config { return t.cfg }
 
-// TimeStats returns the TimeSSD-specific counters.
-func (t *TimeSSD) TimeStats() Stats { return t.st }
+// TimeStats returns the TimeSSD-specific counters. It is a view of the
+// canonical obs.Counters surface (see Counters); the Stats type survives
+// for callers that predate the collapse.
+func (t *TimeSSD) TimeStats() Stats { return TimeStatsView(t.Counters()) }
+
+// TimeStatsView projects the TimeSSD-specific counters out of the
+// canonical counter surface.
+func TimeStatsView(c obs.Counters) Stats {
+	return Stats{
+		Invalidations:     c.Invalidations,
+		DeltasCreated:     c.DeltasCreated,
+		DeltaPagesWritten: c.DeltaPagesWritten,
+		ExpiredReclaimed:  c.ExpiredReclaimed,
+		WindowDrops:       c.WindowDrops,
+		IdleCompressions:  c.IdleCompressions,
+		EstimatorChecks:   c.EstimatorChecks,
+		EstimatorTrips:    c.EstimatorTrips,
+	}
+}
+
+// Counters assembles the device's canonical counter snapshot: the base
+// FTL and flash counters plus the retention-machinery counters.
+func (t *TimeSSD) Counters() obs.Counters {
+	c := t.Base.Counters()
+	c.Invalidations = t.st.Invalidations
+	c.DeltasCreated = t.st.DeltasCreated
+	c.DeltaPagesWritten = t.st.DeltaPagesWritten
+	c.ExpiredReclaimed = t.st.ExpiredReclaimed
+	c.WindowDrops = t.st.WindowDrops
+	c.IdleCompressions = t.st.IdleCompressions
+	c.EstimatorChecks = t.st.EstimatorChecks
+	c.EstimatorTrips = t.st.EstimatorTrips
+	return c
+}
+
+// Snapshot captures the full observability state of the device: counters,
+// the retention-window header, and the per-class latency histograms.
+func (t *TimeSSD) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Shards:        1,
+		WindowStartNS: int64(t.RetentionWindowStart()),
+		Segments:      t.Segments(),
+		C:             t.Counters(),
+		Ops:           t.obs.Ops(),
+	}
+}
 
 // RetentionWindowStart returns the start of the retrievable time window —
 // the creation time of the oldest Bloom filter (Fig. 4).
@@ -275,14 +333,18 @@ func (t *TimeSSD) Read(lpa uint64, at vclock.Time) ([]byte, vclock.Time, error) 
 	if err := t.CheckLPA(lpa); err != nil {
 		return nil, at, err
 	}
+	ws := t.obs.Start()
+	issue := at
 	t.observeArrival(at)
 	at = t.TouchMapping(lpa, false, at)
 	t.HostPageReads++
 	ppa := t.AMT[lpa]
 	if ppa == flash.NullPPA {
+		t.obs.Record(obs.HostRead, lpa, int64(issue), int64(at), ws, true)
 		return t.zero, at, nil
 	}
 	data, _, done, err := t.Arr.Read(ppa, at)
+	t.obs.Record(obs.HostRead, lpa, int64(issue), int64(done), ws, err == nil)
 	return data, done, err
 }
 
@@ -293,6 +355,8 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 	if err := t.CheckLPA(lpa); err != nil {
 		return at, err
 	}
+	ws := t.obs.Start()
+	req := at
 	t.observeArrival(at)
 	at = t.TouchMapping(lpa, true, at)
 	// The version's timestamp is the host-visible issue time; GC that runs
@@ -301,6 +365,7 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 	issue := at
 	at, err := t.ensureFree(at)
 	if err != nil {
+		t.obs.Record(obs.HostWrite, lpa, int64(req), int64(at), ws, false)
 		return at, err
 	}
 	old := t.AMT[lpa]
@@ -316,6 +381,7 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 	oob := flash.OOB{LPA: lpa, BackPtr: back, TS: issue, Kind: flash.KindData}
 	ppa, done, err := t.AppendPage(t.HostFrontier(), flash.KindData, data, oob, at)
 	if err != nil {
+		t.obs.Record(obs.HostWrite, lpa, int64(req), int64(at), ws, false)
 		return at, err
 	}
 	if old != flash.NullPPA {
@@ -328,6 +394,7 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 	if t.periodWrites >= int64(t.cfg.NFixed) {
 		t.runEstimator(done)
 	}
+	t.obs.Record(obs.HostWrite, lpa, int64(req), int64(done), ws, true)
 	return done, nil
 }
 
@@ -337,6 +404,8 @@ func (t *TimeSSD) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
 	if err := t.CheckLPA(lpa); err != nil {
 		return at, err
 	}
+	ws := t.obs.Start()
+	issue := at
 	t.observeArrival(at)
 	at = t.TouchMapping(lpa, true, at)
 	t.TrimOps++
@@ -347,6 +416,7 @@ func (t *TimeSSD) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
 		t.AMT[lpa] = flash.NullPPA
 		t.trimmed[lpa] = trimRecord{head: old, ts: at}
 	}
+	t.obs.Record(obs.HostTrim, lpa, int64(issue), int64(at), ws, true)
 	return at, nil
 }
 

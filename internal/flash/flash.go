@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"almanac/internal/invariant"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -161,6 +162,7 @@ type Array struct {
 	busy   []vclock.Time // per-channel horizon
 	stats  Stats
 	failRd map[PPA]int // failure injection: remaining failures per page
+	obsr   *obs.Registry
 }
 
 // New builds an array with all blocks erased.
@@ -181,6 +183,15 @@ func New(cfg Config) (*Array, error) {
 
 // Config returns the array geometry.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetObserver attaches an observability registry; Read, Program and Erase
+// record their class, virtual latency and wall cost on it. A nil registry
+// (the default) disables recording entirely.
+func (a *Array) SetObserver(r *obs.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.obsr = r
+}
 
 // BlockOf returns the block index containing ppa.
 func (a *Array) BlockOf(ppa PPA) int { return int(ppa) / a.cfg.PagesPerBlock }
@@ -250,8 +261,13 @@ func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock
 	if p.oob.Kind == KindFree {
 		return nil, OOB{}, at, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
 	}
+	ws := a.obsr.Start()
 	a.stats.Reads++
 	done = a.occupy(a.ChannelOf(ppa), at, a.cfg.ReadLatency)
+	// Recorded unconditionally (injected failures included) so the class
+	// count tracks stats.Reads exactly; queueing behind a busy channel is
+	// part of the observed virtual latency.
+	a.obsr.Observe(obs.FlashRead, int64(done.Sub(at)), ws, true)
 	if n, ok := a.failRd[ppa]; ok {
 		if n == 1 {
 			delete(a.failRd, ppa)
@@ -337,6 +353,7 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 	if b.writePtr >= a.cfg.PagesPerBlock {
 		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBlockFull, blockIdx)
 	}
+	ws := a.obsr.Start()
 	if invariant.Enabled {
 		// Erase-before-program and in-block program order (§3.7's physical
 		// premises): everything below the write pointer is programmed,
@@ -360,6 +377,7 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 	b.writePtr++
 	a.stats.Programs++
 	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.ProgLatency)
+	a.obsr.Observe(obs.FlashProgram, int64(done.Sub(at)), ws, true)
 	return ppa, done, nil
 }
 
@@ -370,6 +388,7 @@ func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 	if blockIdx < 0 || blockIdx >= len(a.blocks) {
 		return at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
+	ws := a.obsr.Start()
 	b := &a.blocks[blockIdx]
 	for i := range b.pages {
 		b.pages[i].data = b.pages[i].data[:0]
@@ -385,6 +404,7 @@ func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 		}
 	}
 	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
+	a.obsr.Observe(obs.FlashErase, int64(done.Sub(at)), ws, true)
 	return done, nil
 }
 

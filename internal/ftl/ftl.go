@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"almanac/internal/flash"
+	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
 
@@ -564,4 +565,26 @@ func (b *Base) WriteAmplification() float64 {
 		return 0
 	}
 	return float64(b.Arr.Stats().Programs) / float64(b.HostPageWrites)
+}
+
+// Counters assembles the base FTL's share of the canonical counter
+// surface: host command counts, flash micro-operation totals, and GC
+// work. TimeSSD layers its retention counters on top (core.Counters);
+// every legacy stats type is a view of the result.
+func (b *Base) Counters() obs.Counters {
+	fs := b.Arr.Stats()
+	return obs.Counters{
+		HostPageWrites: b.HostPageWrites,
+		HostPageReads:  b.HostPageReads,
+		TrimOps:        b.TrimOps,
+		FlashReads:     fs.Reads,
+		FlashPrograms:  fs.Programs,
+		FlashErases:    fs.Erases,
+		GCRuns:         b.GC.Runs,
+		GCReads:        b.GC.Reads,
+		GCWrites:       b.GC.Writes,
+		GCErases:       b.GC.Erases,
+		GCDeltaOps:     b.GC.DeltaOps,
+		ReadFailures:   b.ReadFailures,
+	}
 }

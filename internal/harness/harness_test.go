@@ -220,6 +220,31 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestObsReport(t *testing.T) {
+	tab, err := Run("obs", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	ops := map[string]bool{}
+	for _, row := range tab.Rows {
+		phases[row[0]] = true
+		ops[row[1]] = true
+	}
+	for _, p := range []string{"warm", "replay", "rollback"} {
+		if !phases[p] {
+			t.Fatalf("no rows for phase %q: %v", p, tab.Rows)
+		}
+	}
+	// Every phase writes pages, so both the host class and the flash
+	// micro-op class it decomposes into must appear.
+	for _, op := range []string{"host-write", "flash-program"} {
+		if !ops[op] {
+			t.Fatalf("no rows for op %q", op)
+		}
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	if _, err := Run("fig99", tiny()); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -7,6 +7,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockHeld flags channel operations and known blocking calls made while a
@@ -33,7 +34,7 @@ func NewLockHeld() *LockHeld { return &LockHeld{} }
 func (r *LockHeld) ID() string { return "lockheld" }
 
 func (r *LockHeld) Doc() string {
-	return "no channel sends/receives, selects, or blocking waits while a mutex is lexically held"
+	return "no channel sends/receives, selects, blocking waits, or obs instrumentation calls while a mutex is lexically held"
 }
 
 func (r *LockHeld) inScope(importPath string) bool {
@@ -144,6 +145,12 @@ func exprKey(fset *token.FileSet, e ast.Expr) string {
 	return buf.String()
 }
 
+// isObsPackage matches the module's observability package; the suffix
+// form keeps the rule working if the module path is ever re-rooted.
+func isObsPackage(path string) bool {
+	return path == "almanac/internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
 // blockingOps walks one statement (without descending into function
 // literals) and reports channel operations and known blocking calls.
 func (r *LockHeld) blockingOps(p *Package, s ast.Stmt, key string) []Finding {
@@ -187,6 +194,17 @@ func (r *LockHeld) blockingOps(p *Package, s ast.Stmt, key string) []Finding {
 						out = append(out, finding(p, n, r.ID(),
 							fmt.Sprintf("time.Sleep while holding %s", key),
 							"sleep outside the critical section"))
+					}
+					// Instrumentation must never run under a service
+					// lock: obs calls are cheap but not free (atomics,
+					// a wall-clock read on the timed path), and metrics
+					// handlers that snapshot under the firmware lock
+					// serialise against the data path. Read registries
+					// after Unlock — they are lock-free by design.
+					if isObsPackage(fn.Pkg().Path()) {
+						out = append(out, finding(p, n, r.ID(),
+							fmt.Sprintf("obs instrumentation call while holding %s", key),
+							"record or snapshot outside the critical section; the obs registry is lock-free and needs no caller lock"))
 					}
 				}
 			}

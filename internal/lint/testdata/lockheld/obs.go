@@ -1,0 +1,39 @@
+package lockheldbad
+
+import (
+	"sync"
+
+	"almanac/internal/obs"
+)
+
+// B mirrors a protocol backend: a service lock guarding device state,
+// plus the lock-free observability registry.
+type B struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+// SnapshotUnderLock reads the registry inside the critical section. The
+// registry needs no caller lock, so this only serialises metric readers
+// against the data path.
+func (b *B) SnapshotUnderLock() map[string]obs.OpStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reg.Ops() // want lockheld
+}
+
+// RecordUnderLock instruments from inside the critical section.
+func (b *B) RecordUnderLock(ns int64) {
+	b.mu.Lock()
+	b.reg.Observe(obs.HostWrite, ns, 0, true) // want lockheld
+	b.mu.Unlock()
+}
+
+// SnapshotAfterUnlock is the approved shape: capture the registry
+// pointer under the lock, read it after release.
+func (b *B) SnapshotAfterUnlock() map[string]obs.OpStats {
+	b.mu.Lock()
+	reg := b.reg
+	b.mu.Unlock()
+	return reg.Ops()
+}
