@@ -7,6 +7,7 @@
 //	almanacd -listen 127.0.0.1:9521 -channels 8 -blocks 64 -pagesize 4096
 //	almanacd -shards 4                       # 4-way striped array
 //	almanacd -metrics-addr 127.0.0.1:9522    # expvar/pprof sidecar listener
+//	almanacd -fault-plan plan.txt            # deterministic NAND fault injection
 //
 // Observability is on by default (-obs=false disables it): the device
 // records per-operation latency histograms in both virtual device time
@@ -41,6 +42,7 @@ import (
 	"almanac/internal/almaproto"
 	"almanac/internal/array"
 	"almanac/internal/core"
+	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
 	"almanac/internal/vclock"
@@ -57,6 +59,7 @@ func main() {
 	minRetention := flag.Duration("minretention", 0, "guaranteed retention lower bound (virtual)")
 	image := flag.String("image", "", "device image path: loaded on start (via firmware rebuild) and saved after graceful drain; arrays use one file per shard (path.shardK)")
 	obsOn := flag.Bool("obs", true, "record per-operation latency histograms and trace events (internal/obs)")
+	faultPlan := flag.String("fault-plan", "", "fault plan file (internal/fault syntax); shard k runs the plan reseeded with seed+k")
 	metricsAddr := flag.String("metrics-addr", "", "optional HTTP address for the expvar/pprof metrics listener (e.g. 127.0.0.1:9522)")
 	flag.Parse()
 
@@ -77,11 +80,24 @@ func main() {
 	if err := checkImageSet(*image, *shards); err != nil {
 		log.Fatal(err)
 	}
+	plan, err := loadFaultPlan(*faultPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
 	devs := make([]*core.TimeSSD, *shards)
 	for i := range devs {
 		dev, err := openDevice(cfg, shardImagePath(*image, *shards, i))
 		if err != nil {
 			log.Fatal(err)
+		}
+		if plan != nil {
+			// Per-shard reseeding keeps a multi-shard run deterministic
+			// without every shard failing in lockstep.
+			inj, err := fault.NewInjector(plan.Reseeded(plan.Seed + int64(i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			dev.SetFaults(inj)
 		}
 		devs[i] = dev
 	}
@@ -196,6 +212,23 @@ func shardImagePath(image string, shards, i int) string {
 		return image
 	}
 	return fmt.Sprintf("%s.shard%d", image, i)
+}
+
+// loadFaultPlan reads and parses a -fault-plan file; "" means no plan.
+func loadFaultPlan(path string) (*fault.Plan, error) {
+	if path == "" {
+		return nil, nil
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("almanacd: -fault-plan: %w", err)
+	}
+	plan, err := fault.Parse(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("almanacd: -fault-plan %s: %w", path, err)
+	}
+	fmt.Printf("almanacd: fault plan armed from %s (%d rule(s), seed %d)\n", path, len(plan.Rules), plan.Seed)
+	return plan, nil
 }
 
 // openDevice loads the image (bringing the device up through the firmware

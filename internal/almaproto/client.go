@@ -49,8 +49,8 @@ func (c *Client) roundTrip(body []byte) (*dec, error) {
 		return nil, err
 	}
 	d := &dec{b: resp}
-	if status := d.u8(); status != 0 {
-		return nil, &RemoteError{Msg: string(d.bytes())}
+	if status := d.u8(); status != StatusOK {
+		return nil, &RemoteError{Msg: string(d.bytes()), Code: status}
 	}
 	return d, nil
 }

@@ -45,6 +45,7 @@ import (
 	"io"
 
 	"almanac/internal/core"
+	"almanac/internal/fault"
 	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
@@ -134,10 +135,51 @@ var (
 	ErrShortPayload  = errors.New("almaproto: truncated payload")
 )
 
-// RemoteError is a device-side failure relayed to the client.
-type RemoteError struct{ Msg string }
+// Response status codes. Like opcodes, status codes are append-only: 0
+// and 1 are the original OK/error pair; later codes refine the error
+// class so clients can match device faults with errors.Is instead of
+// string-sniffing. Servers may send any code; older clients treat every
+// non-zero status as a generic RemoteError, which stays correct.
+const (
+	StatusOK            = 0
+	StatusError         = 1 // generic device-side failure
+	StatusUncorrectable = 2 // fault.ErrUncorrectable: data lost to ECC
+	StatusPowerCut      = 3 // fault.ErrPowerCut: device dead mid-plan
+)
+
+// statusOf maps a device error to its wire status code.
+func statusOf(err error) uint8 {
+	switch {
+	case errors.Is(err, fault.ErrUncorrectable):
+		return StatusUncorrectable
+	case errors.Is(err, fault.ErrPowerCut):
+		return StatusPowerCut
+	default:
+		return StatusError
+	}
+}
+
+// RemoteError is a device-side failure relayed to the client. Code is the
+// wire status; Unwrap maps the typed statuses back to the fault sentinels,
+// so errors.Is(err, fault.ErrUncorrectable) works across the protocol
+// boundary exactly as it does in-process.
+type RemoteError struct {
+	Msg  string
+	Code uint8
+}
 
 func (e *RemoteError) Error() string { return "almaproto: device: " + e.Msg }
+
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case StatusUncorrectable:
+		return fault.ErrUncorrectable
+	case StatusPowerCut:
+		return fault.ErrPowerCut
+	default:
+		return nil
+	}
+}
 
 // writeFrame sends one length-prefixed body.
 func writeFrame(w io.Writer, body []byte) error {

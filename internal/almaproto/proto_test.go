@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"almanac/internal/core"
+	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
 	"almanac/internal/vclock"
@@ -275,5 +276,54 @@ func TestFrameLimits(t *testing.T) {
 func TestOpString(t *testing.T) {
 	if OpRead.String() != "Read" || Op(200).String() == "" {
 		t.Fatal("op names broken")
+	}
+}
+
+// armPlan parses a fault plan and arms it on the device.
+func armPlan(t *testing.T, dev *core.TimeSSD, text string) {
+	t.Helper()
+	plan, err := fault.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaults(inj)
+}
+
+func TestTypedRemoteErrors(t *testing.T) {
+	c, dev := pipePair(t)
+	ps := dev.PageSize()
+	if _, err := c.Write(3, page(c, 7, ps), vclock.Time(vclock.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An uncorrectable read crosses the wire as StatusUncorrectable and
+	// unwraps to the fault sentinel, exactly as in-process.
+	armPlan(t, dev, "seed 1\nread uncorrectable count=1\n")
+	_, _, err := c.Read(3, vclock.Time(2*vclock.Second))
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("want fault.ErrUncorrectable over the wire, got %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != StatusUncorrectable {
+		t.Fatalf("want RemoteError code %d, got %+v", StatusUncorrectable, re)
+	}
+	// The rule is exhausted (count=1); the connection and device survive.
+	if _, _, err := c.Read(3, vclock.Time(3*vclock.Second)); err != nil {
+		t.Fatalf("read after exhausted fault rule: %v", err)
+	}
+
+	// A power cut kills the device mid-plan; every later command reports
+	// StatusPowerCut but the protocol stream itself stays framed.
+	armPlan(t, dev, "seed 1\npowercut at=1h\n")
+	if _, err := c.Write(3, page(c, 8, ps), vclock.Time(2*vclock.Hour)); !errors.Is(err, fault.ErrPowerCut) {
+		t.Fatalf("want fault.ErrPowerCut, got %v", err)
+	}
+	_, _, err = c.Read(3, vclock.Time(3*vclock.Hour))
+	if !errors.As(err, &re) || re.Code != StatusPowerCut || !errors.Is(err, fault.ErrPowerCut) {
+		t.Fatalf("dead device: want power-cut status, got %v", err)
 	}
 }

@@ -152,7 +152,7 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) dispatch(st *connState, body []byte) []byte {
 	fail := func(err error) []byte {
 		e := &enc{}
-		e.u8(1)
+		e.u8(statusOf(err))
 		e.bytes([]byte(err.Error()))
 		return e.b
 	}

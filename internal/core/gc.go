@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"almanac/internal/delta"
+	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
 	"almanac/internal/invariant"
@@ -16,6 +17,11 @@ import (
 // deltaPageLPA is the OOB LPA sentinel for packed delta pages, which hold
 // deltas of many LPAs (individual LPAs live in the page header).
 const deltaPageLPA = math.MaxUint64
+
+// rebuildMarkerLPA is the OOB LPA sentinel for the rebuild-instant journal
+// page Rebuild writes (a KindTranslation filler stamped with the rebuild
+// timestamp, so the retention clock survives repeated crashes).
+const rebuildMarkerLPA = math.MaxUint64 - 1
 
 // bestVictim returns the data block GC would pick next, or -1.
 func (t *TimeSSD) bestVictim() int {
@@ -165,7 +171,39 @@ func (t *TimeSSD) reclaimDataBlock(blk int, at vclock.Time) (vclock.Time, error)
 			return at, err
 		}
 	}
+	// Crash durability: any buffered delta whose source page sits in blk is
+	// about to lose its on-flash copy. Flush those segments first, so the
+	// erase never leaves a retained version existing only in RAM (a power
+	// cut between erase and flush would silently drop history).
+	at, err = t.flushPendingFrom(blk, at)
+	if err != nil {
+		return at, err
+	}
 	return t.eraseClearing(blk, at)
+}
+
+// flushPendingFrom flushes every segment holding a pending delta whose
+// source page lies in blk. LPAs are visited in sorted order so the flash
+// layout stays replay-deterministic.
+func (t *TimeSSD) flushPendingFrom(blk int, at vclock.Time) (vclock.Time, error) {
+	var lpas []uint64
+	for lpa, p := range t.pending {
+		if t.Arr.BlockOf(p.src) == blk {
+			lpas = append(lpas, lpa)
+		}
+	}
+	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
+	for _, lpa := range lpas {
+		p, ok := t.pending[lpa]
+		if !ok {
+			continue // an earlier flush in this loop already covered it
+		}
+		var err error
+		if at, err = t.flushSegment(p.seg, at); err != nil {
+			return at, err
+		}
+	}
+	return at, nil
 }
 
 // eraseClearing erases blk and clears its PRT bits.
@@ -312,7 +350,7 @@ func (t *TimeSSD) emitDelta(v *chainVersion, ref []byte, refTS vclock.Time, at v
 			if !seg.buf.Add(d) {
 				return at, errors.New("timessd: delta does not fit an empty buffer")
 			}
-			t.pending[lpa] = pendingDelta{d: d, seg: seg}
+			t.pending[lpa] = pendingDelta{d: d, seg: seg, src: v.ppa}
 			return at, nil
 		}
 		// Falls through: even compressed it does not fit a packed page.
@@ -385,25 +423,38 @@ func (t *TimeSSD) flushSegment(seg *segment, at vclock.Time) (vclock.Time, error
 }
 
 // programDeltaPage appends one page to the segment's active delta block,
-// allocating and sealing blocks as needed.
+// allocating and sealing blocks as needed. Program failures burn a page and
+// are retried on the next page (or a fresh block once the burned one
+// seals); termination follows from finite capacity, ending in
+// ErrDeviceFull when a pathological plan fails everything.
 func (t *TimeSSD) programDeltaPage(seg *segment, data []byte, oob flash.OOB, at vclock.Time) (flash.PPA, vclock.Time, error) {
-	if seg.activeBlk < 0 {
-		blk := t.AllocDedicated(flash.KindDelta, len(seg.blocks))
-		if blk < 0 {
-			return flash.NullPPA, at, ftl.ErrDeviceFull
+	for {
+		if seg.activeBlk < 0 {
+			blk := t.AllocDedicated(flash.KindDelta, len(seg.blocks))
+			if blk < 0 {
+				return flash.NullPPA, at, ftl.ErrDeviceFull
+			}
+			seg.activeBlk = blk
 		}
-		seg.activeBlk = blk
+		ppa, done, sealed, err := t.ProgramDedicated(seg.activeBlk, data, oob, at)
+		if err != nil {
+			if errors.Is(err, fault.ErrProgramFail) {
+				if sealed {
+					seg.blocks = append(seg.blocks, seg.activeBlk)
+					seg.activeBlk = -1
+				}
+				at = done
+				continue
+			}
+			return flash.NullPPA, at, err
+		}
+		t.GC.Writes++
+		if sealed {
+			seg.blocks = append(seg.blocks, seg.activeBlk)
+			seg.activeBlk = -1
+		}
+		return ppa, done, nil
 	}
-	ppa, done, sealed, err := t.ProgramDedicated(seg.activeBlk, data, oob, at)
-	if err != nil {
-		return flash.NullPPA, at, err
-	}
-	t.GC.Writes++
-	if sealed {
-		seg.blocks = append(seg.blocks, seg.activeBlk)
-		seg.activeBlk = -1
-	}
-	return ppa, done, nil
 }
 
 // FlushDeltas forces every segment buffer to flash. Tests and shutdown

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"almanac/internal/bloom"
@@ -22,13 +23,29 @@ import (
 //   - the IMT comes from scanning delta pages for each LPA's newest delta;
 //   - partially-written blocks are padded closed (as firmware does after
 //     power loss) and delta blocks join one legacy cohort that retires
-//     with the first window segment group.
+//     with the first window segment group;
+//   - grown bad blocks (every page KindBad — the on-medium retirement
+//     record an erase failure leaves) are re-retired, and stray KindBad
+//     pages (burned programs, power-cut torn writes) count as dead filler.
+//
+// Retention-clock semantics: the rebuild instant is the newest write
+// timestamp found anywhere on the medium. The fresh Bloom-filter chain is
+// created at that instant and every surviving invalidation is re-registered
+// there, because the true invalidation times are RAM state the crash lost.
+// The consequence — deliberate, and what crashsweep's equivalence check
+// assumes — is that the retention window RESTARTS at the rebuild instant:
+// no surviving version can expire before rebuiltAt + MinRetention, so a
+// crash can only ever lengthen retention, never shorten it. The instant is
+// recorded in OOB-visible metadata (a KindTranslation marker page stamped
+// with rebuiltAt) so it survives further crashes even if the host never
+// writes again, and is exposed via RebuiltAt.
 //
 // Deliberate losses, matching real FTL semantics: RAM-only delta buffers
 // (their source pages are still on flash and simply count as retained
-// again) and trim records (an LPA whose newest version survives is treated
-// as live — crash-lost trims are standard for SSDs without a persistent
-// trim journal).
+// again — GC flushes buffers before erasing their sources, so a buffered
+// delta never outlives its source) and trim records (an LPA whose newest
+// version survives is treated as live — crash-lost trims are standard for
+// SSDs without a persistent trim journal).
 func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	b, err := ftl.NewBaseOn(arr, cfg.FTL)
 	if err != nil {
@@ -41,7 +58,6 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 		Base:    b,
 		cfg:     cfg,
 		zero:    make([]byte, cfg.FTL.Flash.PageSize),
-		chain:   bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, 0),
 		cohorts: make(map[int]*segment),
 		imt:     make(map[uint64]flash.PPA),
 		pending: make(map[uint64]pendingDelta),
@@ -56,24 +72,12 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	fc := cfg.FTL.Flash
 	ps := fc.PagesPerBlock
 
-	// Pass 0: close partially-written blocks. Firmware pads an open block
-	// after a crash so programming can only ever resume on fresh blocks.
-	for blk := 0; blk < fc.TotalBlocks(); blk++ {
-		wp := arr.WritePtr(blk)
-		if wp == 0 || wp == ps {
-			continue
-		}
-		filler := flash.OOB{LPA: deltaPageLPA, BackPtr: flash.NullPPA, Kind: flash.KindTranslation}
-		for arr.WritePtr(blk) < ps {
-			if _, _, err := arr.Program(blk, nil, filler, 0); err != nil {
-				return nil, fmt.Errorf("rebuild: padding block %d: %w", blk, err)
-			}
-		}
-	}
-
-	// Pass 1: full OOB scan. Newest write timestamp wins the AMT; every
-	// older data version is a retained invalid page. Delta pages rebuild
-	// the IMT (newest delta per LPA).
+	// Pass 0: full OOB scan of every programmed page. Newest write
+	// timestamp wins the AMT; every older data version is a retained
+	// invalid page. Delta pages rebuild the IMT (newest delta per LPA).
+	// The scan also finds the rebuild instant (the newest timestamp
+	// anywhere on the medium) and the grown bad blocks (erase failures pin
+	// a block full of KindBad pages — the on-medium retirement record).
 	type head struct {
 		ppa flash.PPA
 		ts  vclock.Time
@@ -81,18 +85,25 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	liveHead := map[uint64]head{}
 	imtHead := map[uint64]head{}
 	blockKind := make([]flash.PageKind, fc.TotalBlocks())
+	blockBad := make([]bool, fc.TotalBlocks()) // full block of KindBad pages
+	var rebuiltAt vclock.Time                  // newest write timestamp on the medium
 	var adopted []ftl.AdoptedBlock
 
 	for blk := 0; blk < fc.TotalBlocks(); blk++ {
-		if arr.WritePtr(blk) == 0 {
+		wp := arr.WritePtr(blk)
+		if wp == 0 {
 			continue
 		}
 		kind := flash.KindTranslation // downgraded below if real content found
-		for off := 0; off < ps; off++ {
+		badPages := 0
+		for off := 0; off < wp; off++ {
 			ppa := arr.AddrOf(blk, off)
 			data, oob, err := arr.PeekPage(ppa)
 			if err != nil {
 				return nil, fmt.Errorf("rebuild: scan ppa %d: %w", ppa, err)
+			}
+			if oob.TS > rebuiltAt {
+				rebuiltAt = oob.TS
 			}
 			switch oob.Kind {
 			case flash.KindData:
@@ -107,6 +118,9 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 					continue // torn delta page: its versions are lost
 				}
 				for _, d := range ds {
+					if d.TS > rebuiltAt {
+						rebuiltAt = d.TS
+					}
 					if h, ok := imtHead[d.LPA]; !ok || d.TS > h.ts {
 						imtHead[d.LPA] = head{ppa, d.TS}
 					}
@@ -116,9 +130,40 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 				if h, ok := imtHead[oob.LPA]; !ok || oob.TS > h.ts {
 					imtHead[oob.LPA] = head{ppa, oob.TS}
 				}
+			case flash.KindBad:
+				badPages++ // burned/torn page: dead filler
 			}
 		}
 		blockKind[blk] = kind
+		// Only a full block of KindBad pages is a retirement record; a
+		// partial block whose every programmed page is bad (e.g. a torn
+		// first write) is just a crashed block that pads closed below.
+		blockBad[blk] = wp == ps && badPages == ps
+	}
+	t.rebuiltAt = rebuiltAt
+	t.chain = bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, rebuiltAt)
+
+	// Pass 1: close partially-written blocks. Firmware pads an open block
+	// after a crash so programming can only ever resume on fresh blocks.
+	// The first filler page doubles as the rebuild-instant journal: a
+	// translation marker stamped rebuiltAt, so the retention clock is
+	// OOB-visible to any later rebuild of this medium.
+	markerDone := rebuiltAt == 0 // a virgin medium needs no journal
+	for blk := 0; blk < fc.TotalBlocks(); blk++ {
+		wp := arr.WritePtr(blk)
+		if wp == 0 || wp == ps {
+			continue
+		}
+		for arr.WritePtr(blk) < ps {
+			filler := flash.OOB{LPA: deltaPageLPA, BackPtr: flash.NullPPA, Kind: flash.KindTranslation}
+			if !markerDone {
+				filler = flash.OOB{LPA: rebuildMarkerLPA, BackPtr: flash.NullPPA, TS: rebuiltAt, Kind: flash.KindTranslation}
+			}
+			if _, _, err := arr.Program(blk, nil, filler, 0); err != nil {
+				return nil, fmt.Errorf("rebuild: padding block %d: %w", blk, err)
+			}
+			markerDone = true
+		}
 	}
 
 	// Pass 2: validity. Only each LPA's newest data version is valid; all
@@ -144,6 +189,11 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 		if arr.WritePtr(blk) == 0 {
 			continue
 		}
+		if blockBad[blk] {
+			// A grown bad block's on-medium retirement record: re-retire it.
+			adopted = append(adopted, ftl.AdoptedBlock{Blk: blk, Invalid: ps, Bad: true})
+			continue
+		}
 		valid, invalid := 0, 0
 		for off := 0; off < ps; off++ {
 			ppa := arr.AddrOf(blk, off)
@@ -159,13 +209,13 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 				// fresh window covers it (time of invalidation unknown →
 				// conservatively "now", i.e. the rebuild instant).
 				invalid++
-				t.chain.Invalidate(uint64(ppa), 0)
+				t.chain.Invalidate(uint64(ppa), rebuiltAt)
 				t.st.Invalidations++
 			case oob.Kind == flash.KindDelta || oob.Kind == flash.KindDeltaRaw:
 				// Delta content is live until its cohort retires.
 				b.PVT[ppa] = true
 				valid++
-			default: // filler padding
+			default: // filler padding, burned/torn pages
 				invalid++
 			}
 		}
@@ -179,6 +229,21 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	}
 	if len(legacy.blocks) > 0 {
 		t.cohorts[0] = legacy
+	}
+	// If every block was full (no padding page carried the journal), write
+	// the rebuild-instant marker as an immediately-invalidated filler page
+	// on the host frontier: OOB-visible, PVT-clean, reclaimable like any
+	// other dead page. Best-effort — a completely full device cannot
+	// journal, and a single rebuild needs no marker to be correct.
+	if !markerDone {
+		oob := flash.OOB{LPA: rebuildMarkerLPA, BackPtr: flash.NullPPA, TS: rebuiltAt, Kind: flash.KindTranslation}
+		ppa, _, err := b.AppendPage(b.HostFrontier(), flash.KindData, nil, oob, rebuiltAt)
+		switch {
+		case err == nil:
+			b.InvalidatePPA(ppa)
+		case !errors.Is(err, ftl.ErrDeviceFull):
+			return nil, fmt.Errorf("rebuild: journaling rebuild instant: %w", err)
+		}
 	}
 	return t, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"almanac/internal/bloom"
 	"almanac/internal/delta"
+	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
 	"almanac/internal/obs"
@@ -150,10 +151,14 @@ type segment struct {
 }
 
 // pendingDelta tracks a delta that sits in a segment buffer and has not yet
-// been programmed to flash.
+// been programmed to flash. src is the flash page the delta was compressed
+// from: while src is still programmed the version is crash-durable (a
+// rebuild re-registers the source as retained), so GC must flush the buffer
+// before erasing src's block or a power cut would lose the version.
 type pendingDelta struct {
 	d   *delta.Delta
 	seg *segment
+	src flash.PPA
 }
 
 // trimRecord remembers the chain head of a trimmed LPA (so lineage survives
@@ -209,6 +214,11 @@ type TimeSSD struct {
 
 	gcAudits int64 // almanacdebug: GC passes since the last deep audit
 
+	// rebuiltAt is the rebuild instant when this device was mounted by
+	// Rebuild (zero for a fresh device): the newest write timestamp found
+	// on the medium, where the retention window restarts.
+	rebuiltAt vclock.Time
+
 	st  Stats
 	obs *obs.Registry
 }
@@ -261,6 +271,16 @@ func (t *TimeSSD) attachObs() {
 
 // Obs returns the device's observability registry.
 func (t *TimeSSD) Obs() *obs.Registry { return t.obs }
+
+// RebuiltAt returns the rebuild instant if this device was mounted by
+// Rebuild (the newest write timestamp the scan found — where the retention
+// window restarted), or zero for a device created fresh.
+func (t *TimeSSD) RebuiltAt() vclock.Time { return t.rebuiltAt }
+
+// SetFaults arms a plan-driven fault injector on the device's flash array
+// (nil restores the perfect device). Core owns the forwarding so host-side
+// layers stay behind the firmware boundary.
+func (t *TimeSSD) SetFaults(inj *fault.Injector) { t.Arr.SetFaults(inj) }
 
 func (t *TimeSSD) newSegment() *segment {
 	return &segment{buf: delta.NewBuffer(t.cfg.FTL.Flash.PageSize), activeBlk: -1}

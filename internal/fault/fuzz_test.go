@@ -1,0 +1,37 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan drives the plan parser with arbitrary text. Invariants: no
+// panic, a parsed plan always validates (Parse runs Validate), and String
+// is a fixed point — serialising and re-parsing yields the same text, so a
+// stored artifact plan replays exactly.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed 42\necc-budget 8\nread uncorrectable block=3 page=7 count=1\n")
+	f.Add("read bitflip bits=4 prob=0.001\nread bitflip bits=40 silent count=1\n")
+	f.Add("program fail after-ops=100 count=2\nerase fail block=5\n")
+	f.Add("powercut at=1.5s\npowercut after-ops=5000\n")
+	f.Add("# only a comment\n\n   \n")
+	f.Add("seed -1")
+	f.Add("read uncorrectable channel=0 at=0s prob=1")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted a plan Validate rejects: %v\ninput: %q", err, text)
+		}
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %v\noutput: %q", err, s)
+		}
+		if q.String() != s {
+			t.Fatalf("String not a fixed point:\n%q\nvs\n%q", s, q.String())
+		}
+		if _, err := NewInjector(p); err != nil {
+			t.Fatalf("parsed plan rejected by NewInjector: %v", err)
+		}
+	})
+}

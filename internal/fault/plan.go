@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"almanac/internal/vclock"
+)
+
+// Plan text format — one directive per line, '#' starts a comment:
+//
+//	seed 42
+//	ecc-budget 8
+//	read uncorrectable block=3 page=7 count=1
+//	read bitflip bits=4 prob=0.001
+//	read bitflip bits=40 silent count=1
+//	program fail after-ops=100 count=2
+//	erase fail block=5
+//	powercut at=1.5s
+//	powercut after-ops=5000
+//
+// Options accepted by every rule line: channel=N block=N page=N (address
+// predicates, omitted = any), at=DURATION (virtual trigger time), count=N
+// (max firings, 0 = unlimited), after-ops=N (ops that must precede),
+// prob=F (firing probability in [0,1]). "read bitflip" additionally takes
+// bits=N and the bare flag "silent".
+
+// Parse decodes the text plan format.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		lineNo := ln + 1
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: line %d: want `seed N`", lineNo)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad seed: %v", lineNo, err)
+			}
+			p.Seed = v
+		case "ecc-budget":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: line %d: want `ecc-budget N`", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad ecc-budget: %v", lineNo, err)
+			}
+			p.ECCBudget = v
+		case "read", "program", "erase", "powercut":
+			r, err := parseRule(fields)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+			}
+			p.Rules = append(p.Rules, r)
+		default:
+			return nil, fmt.Errorf("fault: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseRule decodes one rule line, already split into fields.
+func parseRule(fields []string) (Rule, error) {
+	r := Rule{Channel: Any, Block: Any, Page: Any}
+	opts := fields[1:]
+	switch fields[0] {
+	case "read":
+		if len(fields) < 2 {
+			return r, fmt.Errorf("want `read uncorrectable|bitflip ...`")
+		}
+		switch fields[1] {
+		case "uncorrectable":
+			r.Effect = Uncorrectable
+		case "bitflip":
+			r.Effect = BitFlip
+		default:
+			return r, fmt.Errorf("unknown read fault %q (want uncorrectable or bitflip)", fields[1])
+		}
+		opts = fields[2:]
+	case "program", "erase":
+		if len(fields) < 2 || fields[1] != "fail" {
+			return r, fmt.Errorf("want `%s fail ...`", fields[0])
+		}
+		if fields[0] == "program" {
+			r.Effect = ProgramFail
+		} else {
+			r.Effect = EraseFail
+		}
+		opts = fields[2:]
+	case "powercut":
+		r.Effect = PowerCut
+	}
+	for _, opt := range opts {
+		if opt == "silent" {
+			r.Silent = true
+			continue
+		}
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return r, fmt.Errorf("malformed option %q (want key=value)", opt)
+		}
+		switch key {
+		case "channel", "block", "page", "count", "bits":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("bad %s: %v", key, err)
+			}
+			switch key {
+			case "channel":
+				r.Channel = v
+			case "block":
+				r.Block = v
+			case "page":
+				r.Page = v
+			case "count":
+				r.Count = v
+			case "bits":
+				r.Bits = v
+			}
+		case "after-ops":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return r, fmt.Errorf("bad after-ops: %v", err)
+			}
+			r.AfterOps = v
+		case "at":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return r, fmt.Errorf("bad at: %v", err)
+			}
+			if d < 0 {
+				return r, fmt.Errorf("negative at=%v", d)
+			}
+			r.At = vclock.Time(0).Add(d)
+		case "prob":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("bad prob: %v", err)
+			}
+			r.Prob = f
+		default:
+			return r, fmt.Errorf("unknown option %q", key)
+		}
+	}
+	return r, nil
+}
+
+// String renders the plan back into the text format Parse accepts, so
+// failure artifacts are directly replayable.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	if p.ECCBudget != 0 {
+		fmt.Fprintf(&b, "ecc-budget %d\n", p.ECCBudget)
+	}
+	for i := range p.Rules {
+		b.WriteString(p.Rules[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one rule as a plan line.
+func (r Rule) String() string {
+	var head string
+	switch r.Effect {
+	case Uncorrectable:
+		head = "read uncorrectable"
+	case BitFlip:
+		head = "read bitflip"
+	case ProgramFail:
+		head = "program fail"
+	case EraseFail:
+		head = "erase fail"
+	case PowerCut:
+		head = "powercut"
+	default:
+		head = fmt.Sprintf("effect(%d)", uint8(r.Effect))
+	}
+	opts := map[string]string{}
+	if r.Effect == BitFlip {
+		opts["bits"] = strconv.Itoa(r.Bits)
+	}
+	if r.Channel != Any {
+		opts["channel"] = strconv.Itoa(r.Channel)
+	}
+	if r.Block != Any {
+		opts["block"] = strconv.Itoa(r.Block)
+	}
+	if r.Page != Any {
+		opts["page"] = strconv.Itoa(r.Page)
+	}
+	if r.At != 0 {
+		opts["at"] = time.Duration(r.At).String()
+	}
+	if r.AfterOps != 0 {
+		opts["after-ops"] = strconv.FormatInt(r.AfterOps, 10)
+	}
+	if r.Count != 0 {
+		opts["count"] = strconv.Itoa(r.Count)
+	}
+	if r.Prob != 0 {
+		opts["prob"] = strconv.FormatFloat(r.Prob, 'g', -1, 64)
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := []string{head}
+	for _, k := range keys {
+		parts = append(parts, k+"="+opts[k])
+	}
+	if r.Silent {
+		parts = append(parts, "silent")
+	}
+	return strings.Join(parts, " ")
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"almanac/internal/fault"
 	"almanac/internal/invariant"
 	"almanac/internal/obs"
 	"almanac/internal/vclock"
@@ -38,6 +39,11 @@ const (
 	KindDelta                       // packed compressed deltas
 	KindDeltaRaw                    // an incompressible retained version stored whole in a delta block
 	KindTranslation                 // FTL translation-table page
+	// KindBad marks a dead page: one burned by a program failure, torn by a
+	// power cut mid-program, or belonging to a block whose erase failed (a
+	// grown bad block stamps every page KindBad — the retirement record the
+	// rebuild scan reads back). KindBad content is garbage by definition.
+	KindBad
 )
 
 func (k PageKind) String() string {
@@ -52,6 +58,8 @@ func (k PageKind) String() string {
 		return "delta-raw"
 	case KindTranslation:
 		return "translation"
+	case KindBad:
+		return "bad"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -131,9 +139,11 @@ var (
 	ErrBadAddress = errors.New("flash: address out of range")
 	ErrReadFree   = errors.New("flash: read of erased page")
 	ErrBlockFull  = errors.New("flash: program to full block")
-	// ErrReadFailed models an uncorrectable (post-ECC) read error injected
-	// with FailReads; the FTL must degrade gracefully, never wedge.
-	ErrReadFailed = errors.New("flash: uncorrectable read error")
+	// ErrReadFailed is an uncorrectable (post-ECC) read error, injected
+	// either with FailReads or by a fault plan; the FTL must degrade
+	// gracefully, never wedge. It is the fault package's typed sentinel so
+	// one errors.Is covers both injection paths end to end.
+	ErrReadFailed = fault.ErrUncorrectable
 )
 
 type page struct {
@@ -147,11 +157,20 @@ type block struct {
 	erases   int
 }
 
-// Stats aggregates operation counts for the lifetime of the array.
+// Stats aggregates operation counts for the lifetime of the array. The
+// fault counters are volatile: image serialization persists only the three
+// op counts (the wire/image format is frozen), so they reset across a
+// power-cut round trip like the RAM state they describe.
 type Stats struct {
 	Reads    int64
 	Programs int64
 	Erases   int64
+
+	ECCCorrected  int64 // reads whose injected bit errors ECC repaired
+	Uncorrectable int64 // reads failed past the ECC budget
+	ProgramFails  int64 // page programs failed by the fault plan
+	EraseFails    int64 // block erases failed by the fault plan (grown bad blocks)
+	TornWrites    int64 // pages torn by a power cut mid-program
 }
 
 // Array is the simulated flash device.
@@ -161,7 +180,9 @@ type Array struct {
 	blocks []block
 	busy   []vclock.Time // per-channel horizon
 	stats  Stats
-	failRd map[PPA]int // failure injection: remaining failures per page
+	failRd map[PPA]int     // failure injection: remaining failures per page
+	faults *fault.Injector // plan-driven fault model; nil = perfect device
+	dead   bool            // a PowerCut fault fired; every op fails until remount
 	obsr   *obs.Registry
 }
 
@@ -191,6 +212,31 @@ func (a *Array) SetObserver(r *obs.Registry) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.obsr = r
+}
+
+// SetFaults arms a plan-driven fault injector; every subsequent Read,
+// Program and Erase consults it. A nil injector (the default) restores the
+// perfect device. The hot-path cost with no injector is a single pointer
+// load under the lock the operation already holds.
+func (a *Array) SetFaults(inj *fault.Injector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.faults = inj
+}
+
+// Dead reports whether a PowerCut fault has fired. A dead array fails every
+// Read/Program/Erase with fault.ErrPowerCut; WriteImage and the Peek
+// accessors still work, modelling the medium's state at the instant power
+// was lost. Power comes back by loading the image into a fresh array.
+func (a *Array) Dead() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dead
+}
+
+// faultAddr builds the injector's address predicate for a page.
+func (a *Array) faultAddr(blockIdx, pageOff int) fault.Addr {
+	return fault.Addr{Channel: a.ChannelOfBlock(blockIdx), Block: blockIdx, Page: pageOff}
 }
 
 // BlockOf returns the block index containing ppa.
@@ -253,6 +299,9 @@ func (a *Array) Charge(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
 func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock.Time, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.dead {
+		return nil, OOB{}, at, fault.ErrPowerCut
+	}
 	if err = a.checkPPA(ppa); err != nil {
 		return nil, OOB{}, at, err
 	}
@@ -275,6 +324,27 @@ func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock
 			a.failRd[ppa] = n - 1
 		}
 		return nil, OOB{}, done, fmt.Errorf("%w: ppa %d", ErrReadFailed, ppa)
+	}
+	if a.faults != nil {
+		switch out := a.faults.Check(fault.OpRead, a.faultAddr(a.BlockOf(ppa), a.PageOf(ppa)), at); out.Decision {
+		case fault.DecCorrected:
+			a.stats.ECCCorrected++
+			a.obsr.Observe(obs.FaultECCCorrected, 0, ws, true)
+		case fault.DecUncorrectable:
+			a.stats.Uncorrectable++
+			a.obsr.Observe(obs.FaultUncorrectable, 0, ws, false)
+			return nil, OOB{}, done, fmt.Errorf("%w: ppa %d", ErrReadFailed, ppa)
+		case fault.DecSilent:
+			// Corruption below the detection floor: a flipped copy is
+			// returned as if it were good data.
+			cp := append([]byte(nil), p.data...)
+			a.faults.Corrupt(cp, out.Bits)
+			return cp, p.oob, done, nil
+		case fault.DecPowerCut:
+			a.dead = true
+			a.obsr.Observe(obs.FaultPowerCut, 0, ws, false)
+			return nil, OOB{}, done, fault.ErrPowerCut
+		}
 	}
 	return p.data, p.oob, done, nil
 }
@@ -340,6 +410,9 @@ func (a *Array) ReadOOB(ppa PPA, at vclock.Time) (OOB, vclock.Time, error) {
 func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA, vclock.Time, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.dead {
+		return NullPPA, at, fault.ErrPowerCut
+	}
 	if blockIdx < 0 || blockIdx >= len(a.blocks) {
 		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
@@ -370,6 +443,34 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 			}
 		}
 	}
+	if a.faults != nil {
+		switch out := a.faults.Check(fault.OpProgram, a.faultAddr(blockIdx, b.writePtr), at); out.Decision {
+		case fault.DecProgramFail:
+			// The program failed verify: the page is burned (stamped KindBad,
+			// dead until the block is erased) and the caller must relocate.
+			p := &b.pages[b.writePtr]
+			p.data = p.data[:0]
+			p.oob = OOB{Kind: KindBad}
+			b.writePtr++
+			a.stats.ProgramFails++
+			done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.ProgLatency)
+			a.obsr.Observe(obs.FaultProgramFail, int64(done.Sub(at)), ws, false)
+			return NullPPA, done, fmt.Errorf("%w: block %d page %d", fault.ErrProgramFail, blockIdx, b.writePtr-1)
+		case fault.DecPowerCut:
+			// Power died mid-program: the page is torn — part of the payload
+			// reached the cells, the OOB never committed. It reads back as a
+			// dead KindBad page after remount.
+			p := &b.pages[b.writePtr]
+			p.data = append(p.data[:0], data[:len(data)/2]...)
+			p.oob = OOB{Kind: KindBad}
+			b.writePtr++
+			a.stats.TornWrites++
+			a.dead = true
+			a.obsr.Observe(obs.FaultPowerCut, 0, ws, false)
+			return NullPPA, at, fault.ErrPowerCut
+		case fault.DecNone:
+		}
+	}
 	p := &b.pages[b.writePtr]
 	p.data = append(p.data[:0], data...)
 	p.oob = oob
@@ -385,11 +486,39 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.dead {
+		return at, fault.ErrPowerCut
+	}
 	if blockIdx < 0 || blockIdx >= len(a.blocks) {
 		return at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
 	ws := a.obsr.Start()
 	b := &a.blocks[blockIdx]
+	if a.faults != nil {
+		switch out := a.faults.Check(fault.OpErase, fault.Addr{Channel: a.ChannelOfBlock(blockIdx), Block: blockIdx, Page: fault.Any}, at); out.Decision {
+		case fault.DecEraseFail:
+			// The block is worn out: it must be retired as a grown bad
+			// block. Every page is stamped KindBad and the write pointer
+			// pinned full, so the retirement survives an image round trip
+			// and the rebuild scan re-retires the block from OOB alone.
+			for i := range b.pages {
+				b.pages[i].data = b.pages[i].data[:0]
+				b.pages[i].oob = OOB{Kind: KindBad}
+			}
+			b.writePtr = a.cfg.PagesPerBlock
+			a.stats.EraseFails++
+			done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
+			a.obsr.Observe(obs.FaultEraseFail, int64(done.Sub(at)), ws, false)
+			return done, fmt.Errorf("%w: block %d", fault.ErrEraseFail, blockIdx)
+		case fault.DecPowerCut:
+			// Power died before the erase pulse committed: the block keeps
+			// its pre-erase contents.
+			a.dead = true
+			a.obsr.Observe(obs.FaultPowerCut, 0, ws, false)
+			return at, fault.ErrPowerCut
+		case fault.DecNone:
+		}
+	}
 	for i := range b.pages {
 		b.pages[i].data = b.pages[i].data[:0]
 		b.pages[i].oob = OOB{Kind: KindFree}

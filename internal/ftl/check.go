@@ -47,6 +47,15 @@ func (b *Base) CheckConsistency() error {
 			if info.Kind == flash.KindFree {
 				return fmt.Errorf("ftl: in-use block %d has kind free", blk)
 			}
+		case bsBad:
+			// A grown bad block: retired, fully "filled" with dead pages,
+			// and pinned full on the medium so the retirement persists.
+			if info.Valid != 0 || info.Invalid != ps || info.Fill != ps {
+				return fmt.Errorf("ftl: bad block %d has counts %+v", blk, *info)
+			}
+			if programmed != ps {
+				return fmt.Errorf("ftl: bad block %d has %d/%d programmed pages on flash", blk, programmed, ps)
+			}
 		default:
 			return fmt.Errorf("ftl: block %d in unknown state %d", blk, info.State)
 		}

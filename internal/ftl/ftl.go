@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/obs"
 	"almanac/internal/vclock"
@@ -134,6 +135,11 @@ const (
 	bsFree blockState = iota
 	bsActive
 	bsSealed
+	// bsBad is a grown bad block: its erase failed, so it is retired — never
+	// returned to the free pool, never selected as a GC or wear victim. The
+	// retirement is also persisted on the medium (every page KindBad), which
+	// is how a rebuild scan re-retires the block after a crash.
+	bsBad
 )
 
 // BlockInfo is the per-block entry of the block status table (BST).
@@ -183,6 +189,11 @@ type Base struct {
 	// internal operations (migration); the FTL skips them rather than
 	// wedging, like firmware does past ECC.
 	ReadFailures int64
+	// ProgramFailures counts page programs the flash failed; each burned
+	// the page it targeted and was relocated to a fresh one.
+	ProgramFailures int64
+	// GrownBadBlocks counts blocks retired after an erase failure.
+	GrownBadBlocks int64
 
 	mcache        *mapCache
 	erasesSinceWL int
@@ -309,21 +320,41 @@ func (b *Base) GCFrontier() frontier { return b.gcFrontier() }
 // AppendPage programs data+oob at the next page of fr's current active
 // block (rotating across channels), sealing and replacing blocks as they
 // fill. kind tags newly allocated blocks. Returns the PPA and completion.
+//
+// A program failure burns the target page; AppendPage records the burned
+// page as invalid fill and relocates the write to the next page (or the
+// next block) transparently. The loop terminates because each failed
+// attempt consumes one page of finite capacity: a pathological plan that
+// fails every program ends in ErrDeviceFull, like worn-out hardware would.
 func (b *Base) AppendPage(fr frontier, kind flash.PageKind, data []byte, oob flash.OOB, at vclock.Time) (flash.PPA, vclock.Time, error) {
 	chans := b.P.Flash.Channels
-	for try := 0; try < chans; try++ {
+	misses := 0 // consecutive channels with no block to allocate
+	for misses < chans {
 		ch := *fr.cursor % chans
 		*fr.cursor = (*fr.cursor + 1) % chans
 		blk := (*fr.active)[ch]
 		if blk < 0 {
 			blk = b.allocBlock(ch, kind)
 			if blk < 0 {
-				return flash.NullPPA, at, ErrDeviceFull
+				misses++
+				continue
 			}
 			(*fr.active)[ch] = blk
 		}
+		misses = 0
 		ppa, done, err := b.Arr.Program(blk, data, oob, at)
 		if err != nil {
+			if errors.Is(err, fault.ErrProgramFail) {
+				b.ProgramFailures++
+				b.Info[blk].Fill++
+				b.Info[blk].Invalid++
+				if b.Info[blk].Fill == b.P.Flash.PagesPerBlock {
+					b.Info[blk].State = bsSealed
+					(*fr.active)[ch] = -1
+				}
+				at = done
+				continue // relocate to the next page/block
+			}
 			return flash.NullPPA, at, err
 		}
 		b.Info[blk].Fill++
@@ -383,9 +414,24 @@ func (b *Base) SealedBlocks(fn func(blk int, info *BlockInfo)) {
 
 // EraseBlock erases blk, clears its validity bits, returns it to the free
 // pool, and counts the erase toward GC work and the wear-leveling interval.
+//
+// An erase failure retires blk as a grown bad block: validity is cleared,
+// the BST entry goes bsBad, and the block never re-enters the free pool.
+// Retirement is transparent to callers (the erase "succeeded" but freed
+// nothing); the caller's reclamation loop simply moves to the next victim.
 func (b *Base) EraseBlock(blk int, at vclock.Time) (vclock.Time, error) {
 	done, err := b.Arr.Erase(blk, at)
 	if err != nil {
+		if errors.Is(err, fault.ErrEraseFail) {
+			ps := b.P.Flash.PagesPerBlock
+			base := blk * ps
+			for off := 0; off < ps; off++ {
+				b.PVT[base+off] = false
+			}
+			b.Info[blk] = BlockInfo{State: bsBad, Kind: flash.KindBad, Invalid: ps, Fill: ps}
+			b.GrownBadBlocks++
+			return done, nil
+		}
 		return at, err
 	}
 	base := blk * b.P.Flash.PagesPerBlock
@@ -409,9 +455,24 @@ func (b *Base) AllocDedicated(kind flash.PageKind, chHint int) int {
 // ProgramDedicated appends a page to a dedicated block allocated with
 // AllocDedicated, maintaining fill/validity bookkeeping. sealed reports
 // whether the block just filled up (the owner should allocate a new one).
+//
+// A program failure burns the page: fill/invalid are recorded (sealing the
+// block if the burned page was its last) and fault.ErrProgramFail is
+// returned with the post-attempt completion time, so the owner can retry on
+// the same block or allocate a fresh one when sealed.
 func (b *Base) ProgramDedicated(blk int, data []byte, oob flash.OOB, at vclock.Time) (ppa flash.PPA, done vclock.Time, sealed bool, err error) {
 	ppa, done, err = b.Arr.Program(blk, data, oob, at)
 	if err != nil {
+		if errors.Is(err, fault.ErrProgramFail) {
+			b.ProgramFailures++
+			b.Info[blk].Fill++
+			b.Info[blk].Invalid++
+			if b.Info[blk].Fill == b.P.Flash.PagesPerBlock {
+				b.Info[blk].State = bsSealed
+				sealed = true
+			}
+			return flash.NullPPA, done, sealed, err
+		}
 		return flash.NullPPA, at, false, err
 	}
 	b.Info[blk].Fill++
@@ -461,6 +522,9 @@ type AdoptedBlock struct {
 	Kind    flash.PageKind
 	Valid   int
 	Invalid int
+	// Bad marks a grown bad block rediscovered by the scan (every page
+	// KindBad): it is re-retired instead of rejoining service.
+	Bad bool
 }
 
 // Adopt installs BST entries for scanned blocks and rebuilds the free pool
@@ -483,6 +547,11 @@ func (b *Base) Adopt(blocks []AdoptedBlock) error {
 			return fmt.Errorf("ftl: block %d counts %d+%d != %d", ab.Blk, ab.Valid, ab.Invalid, ps)
 		}
 		inUse[ab.Blk] = true
+		if ab.Bad {
+			b.Info[ab.Blk] = BlockInfo{State: bsBad, Kind: flash.KindBad, Invalid: ps, Fill: ps}
+			b.GrownBadBlocks++
+			continue
+		}
 		b.Info[ab.Blk] = BlockInfo{State: bsSealed, Kind: ab.Kind, Valid: ab.Valid, Invalid: ab.Invalid, Fill: ps}
 	}
 	// Rebuild the free pool from everything not adopted.

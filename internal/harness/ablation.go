@@ -252,13 +252,14 @@ var experiments = map[string]func(Config) (*Table, error){
 	"ablation-wear":     AblationWear,
 	"scaling":           ArrayScaling,
 	"obs":               ObsReport,
+	"crashsweep":        CrashSweep,
 }
 
 // Names returns the experiment identifiers in run order.
 func Names() []string {
 	return []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "table3",
 		"ablation-compress", "ablation-group", "ablation-th", "ablation-bound", "ablation-mapcache", "ablation-wear",
-		"scaling", "obs"}
+		"scaling", "obs", "crashsweep"}
 }
 
 // Run executes one named experiment. fig6/fig7 share their sweep when run

@@ -48,6 +48,10 @@ type Config struct {
 	RansomScale  float64 // multiplier on each family's file count
 	Fig11Commits int     // edit rounds replayed before reverting
 	Fig11Threads []int
+
+	// Crash sweep (crashsweep experiment): power-cut/recovery fuzzing.
+	CrashSeeds int // independent workload seeds swept
+	CrashCuts  int // power cuts injected per seed
 }
 
 // Quick returns a configuration sized for tests and benchmarks.
@@ -78,6 +82,8 @@ func Quick() Config {
 		RansomScale:    0.25,
 		Fig11Commits:   60,
 		Fig11Threads:   []int{1, 2, 4},
+		CrashSeeds:     8,
+		CrashCuts:      2,
 	}
 }
 
@@ -111,6 +117,8 @@ func Standard() Config {
 		RansomScale:    1.0,
 		Fig11Commits:   600,
 		Fig11Threads:   []int{1, 2, 4},
+		CrashSeeds:     32,
+		CrashCuts:      3,
 	}
 }
 

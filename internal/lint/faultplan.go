@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultPlan forbids ad-hoc construction of fault.Plan and fault.Rule
+// composite literals outside the layers that legitimately author fault
+// schedules: internal/fault itself (the parser) and internal/harness (the
+// crash sweep). Everywhere else a fault schedule must come through
+// fault.Parse — the plan text is then serialisable, replayable from CI
+// artifacts, and validated in one place. fault.NewInjector is blessed
+// everywhere: consuming a plan is fine, conjuring one is not.
+//
+// Test files are exempt by construction (the loader analyzes only
+// non-test files), and cmd/ sits outside the internal scope — host
+// tooling reads plan files rather than building literals anyway.
+type FaultPlan struct {
+	// Module is the module path prefix; empty selects "almanac".
+	Module string
+}
+
+// NewFaultPlan returns the rule in production configuration.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+func (r *FaultPlan) ID() string { return "faultplan" }
+
+func (r *FaultPlan) Doc() string {
+	return "fault.Plan/fault.Rule literals only in internal/fault, internal/harness and tests; build plans with fault.Parse"
+}
+
+func (r *FaultPlan) Check(p *Package) []Finding {
+	mod := r.Module
+	if mod == "" {
+		mod = "almanac"
+	}
+	switch p.ImportPath {
+	case mod + "/internal/fault", mod + "/internal/harness":
+		return nil
+	}
+	if !strings.HasPrefix(p.ImportPath, mod+"/internal/") {
+		return nil
+	}
+	faultPath := mod + "/internal/fault"
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[ast.Expr(cl)]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != faultPath {
+				return true
+			}
+			name := named.Obj().Name()
+			if name != "Plan" && name != "Rule" {
+				return true
+			}
+			out = append(out, finding(p, cl, r.ID(),
+				fmt.Sprintf("fault.%s literal constructed in %s", name, p.ImportPath),
+				"build fault schedules with fault.Parse so they are serialisable and replayable; literals belong to internal/fault, internal/harness and tests"))
+			return true
+		})
+	}
+	return out
+}

@@ -57,7 +57,7 @@ func (r *Layering) matrix() []callTarget {
 		{
 			PkgPath: mod + "/internal/flash",
 			Type:    "Array",
-			Methods: map[string]bool{"Program": true, "Erase": true, "Charge": true, "FailReads": true},
+			Methods: map[string]bool{"Program": true, "Erase": true, "Charge": true, "FailReads": true, "SetFaults": true},
 			Allowed: map[string]bool{
 				mod + "/internal/ftl":  true,
 				mod + "/internal/core": true,
@@ -67,7 +67,7 @@ func (r *Layering) matrix() []callTarget {
 		{
 			PkgPath: mod + "/internal/core",
 			Type:    "TimeSSD",
-			Methods: map[string]bool{"Write": true, "Trim": true, "Idle": true},
+			Methods: map[string]bool{"Write": true, "Trim": true, "Idle": true, "SetFaults": true},
 			Allowed: map[string]bool{
 				mod + "/internal/array":     true,
 				mod + "/internal/timekits":  true,

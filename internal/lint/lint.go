@@ -54,7 +54,7 @@ type Rule interface {
 	Check(pkg *Package) []Finding
 }
 
-// DefaultRules returns all six project rules in their production
+// DefaultRules returns all seven project rules in their production
 // configuration.
 func DefaultRules() []Rule {
 	return []Rule{
@@ -64,6 +64,7 @@ func DefaultRules() []Rule {
 		NewLockHeld(),
 		NewCheckedErr(),
 		NewMapOrder(),
+		NewFaultPlan(),
 	}
 }
 

@@ -1,0 +1,35 @@
+// Package faultplanbad is a golden-corpus package for the faultplan rule:
+// fault schedules must come from fault.Parse outside internal/fault,
+// internal/harness and test files.
+package faultplanbad
+
+import "almanac/internal/fault"
+
+// AdHocPlan conjures a fault schedule from literals: forbidden here.
+func AdHocPlan() *fault.Plan {
+	r := fault.Rule{ // want faultplan
+		Effect:  fault.ProgramFail,
+		Channel: fault.Any,
+		Block:   fault.Any,
+		Page:    fault.Any,
+	}
+	p := fault.Plan{Seed: 1} // want faultplan
+	p.Rules = append(p.Rules, r)
+	return &p
+}
+
+// Parsed is the blessed path: plans come from text, injectors may be
+// built anywhere.
+func Parsed() (*fault.Injector, error) {
+	p, err := fault.Parse("seed 1\nprogram fail\n")
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewInjector(p)
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed() fault.Rule {
+	//almalint:allow faultplan corpus demonstration of the escape hatch
+	return fault.Rule{Effect: fault.EraseFail, Channel: fault.Any, Block: fault.Any, Page: fault.Any}
+}

@@ -29,7 +29,7 @@ type Wallclock struct {
 var simPackages = map[string]bool{
 	"flash": true, "vclock": true, "ftl": true, "core": true,
 	"bloom": true, "delta": true, "array": true, "fsim": true,
-	"trace": true, "apps": true, "ransom": true,
+	"trace": true, "apps": true, "ransom": true, "fault": true,
 	"harness": true, "almaproto": true, "timekits": true, "lzf": true,
 }
 

@@ -41,6 +41,14 @@ const (
 	GCPass
 	DeltaFlush
 	Rollback
+	// Fault classes count injected NAND failures and the firmware's
+	// recovery work (internal/fault). Appended after the v3 classes; the
+	// wire format keys classes by name, so older peers simply ignore them.
+	FaultECCCorrected
+	FaultUncorrectable
+	FaultProgramFail
+	FaultEraseFail
+	FaultPowerCut
 	NumClasses
 )
 
@@ -64,6 +72,16 @@ func (c Class) String() string {
 		return "delta-flush"
 	case Rollback:
 		return "rollback"
+	case FaultECCCorrected:
+		return "fault-ecc-corrected"
+	case FaultUncorrectable:
+		return "fault-uncorrectable"
+	case FaultProgramFail:
+		return "fault-program-fail"
+	case FaultEraseFail:
+		return "fault-erase-fail"
+	case FaultPowerCut:
+		return "fault-power-cut"
 	default:
 		return "class-unknown"
 	}
