@@ -1,379 +1,38 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// (run with `go test -bench=. -benchmem`). Each BenchmarkFigN/BenchmarkTableN
-// drives the same harness code the almanac CLI uses, at a reduced scale, and
-// reports the figure's headline quantity via b.ReportMetric so the shape can
-// be tracked over time. Micro-benchmarks for the core building blocks
-// (LZF, delta coding, Bloom chain, device I/O, version queries) follow.
+// (run with `go test -bench=. -benchmem`), plus micro-benchmarks for the
+// core building blocks (LZF, delta coding, Bloom chain, device I/O, version
+// queries). The bodies live in internal/bench so cmd/almabench can run the
+// same code and record the results in BENCH_N.json — these wrappers only
+// pin the `go test` benchmark names.
 package almanac_test
 
 import (
-	"math/rand"
-	"strconv"
-	"strings"
 	"testing"
 
-	"almanac/internal/bloom"
-	"almanac/internal/core"
-	"almanac/internal/delta"
-	"almanac/internal/flash"
-	"almanac/internal/ftl"
-	"almanac/internal/harness"
-	"almanac/internal/lzf"
-	"almanac/internal/trace"
-	"almanac/internal/vclock"
+	"almanac/internal/bench"
 )
 
-// benchConfig is the reduced-scale harness configuration for benchmarks.
-func benchConfig() harness.Config {
-	c := harness.Quick()
-	c.Days = 3
-	c.ReqPerDay = 250
-	c.Fig8MSRLens = []int{7}
-	c.Fig8FIULens = []int{7}
-	c.IOZoneOps = 200
-	c.PostMarkTxns = 120
-	c.OLTPTxns = 80
-	c.OLTPTablePages = 128
-	c.RansomScale = 0.15
-	c.Fig11Commits = 30
-	return c
-}
+func BenchmarkFig6ResponseTime(b *testing.B)      { bench.Fig6ResponseTime(b) }
+func BenchmarkFig7WriteAmp(b *testing.B)          { bench.Fig7WriteAmp(b) }
+func BenchmarkFig8Retention(b *testing.B)         { bench.Fig8Retention(b) }
+func BenchmarkFig9IOZone(b *testing.B)            { bench.Fig9IOZone(b) }
+func BenchmarkFig9OLTP(b *testing.B)              { bench.Fig9OLTP(b) }
+func BenchmarkFig10Ransomware(b *testing.B)       { bench.Fig10Ransomware(b) }
+func BenchmarkFig11Revert(b *testing.B)           { bench.Fig11Revert(b) }
+func BenchmarkTable3Queries(b *testing.B)         { bench.Table3Queries(b) }
+func BenchmarkAblationNoCompression(b *testing.B) { bench.AblationNoCompression(b) }
+func BenchmarkAblationGroupSize(b *testing.B)     { bench.AblationGroupSize(b) }
+func BenchmarkAblationThreshold(b *testing.B)     { bench.AblationThreshold(b) }
+func BenchmarkAblationMinRetention(b *testing.B)  { bench.AblationMinRetention(b) }
+func BenchmarkAblationMapCache(b *testing.B)      { bench.AblationMapCache(b) }
+func BenchmarkAblationWear(b *testing.B)          { bench.AblationWear(b) }
+func BenchmarkArrayScaling(b *testing.B)          { bench.ArrayScaling(b) }
 
-// cellFloat pulls a numeric cell out of a rendered table row.
-func cellFloat(tab *harness.Table, row, col int) float64 {
-	s := strings.TrimSuffix(strings.TrimPrefix(tab.Rows[row][col], "+"), "%")
-	v, _ := strconv.ParseFloat(s, 64)
-	return v
-}
-
-func BenchmarkFig6ResponseTime(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure6(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Report mean TimeSSD response across all rows (ms).
-		var sum float64
-		for r := range tab.Rows {
-			sum += cellFloat(tab, r, 3)
-		}
-		b.ReportMetric(sum/float64(len(tab.Rows)), "ms-response")
-	}
-}
-
-func BenchmarkFig7WriteAmp(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure7(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var sum float64
-		for r := range tab.Rows {
-			sum += cellFloat(tab, r, 3)
-		}
-		b.ReportMetric(sum/float64(len(tab.Rows)), "write-amp")
-	}
-}
-
-func BenchmarkFig8Retention(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure8(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var sum float64
-		for r := range tab.Rows {
-			sum += cellFloat(tab, r, 4)
-		}
-		b.ReportMetric(sum/float64(len(tab.Rows)), "retention-days")
-	}
-}
-
-func BenchmarkFig9IOZone(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure9IOZone(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Headline: TimeSSD random-write speedup over Ext4.
-		for r, row := range tab.Rows {
-			if row[0] == "RandomWrite" {
-				b.ReportMetric(cellFloat(tab, r, 3), "randwrite-speedup")
-			}
-		}
-	}
-}
-
-func BenchmarkFig9OLTP(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure9OLTP(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for r, row := range tab.Rows {
-			if row[0] == "PostMark" {
-				b.ReportMetric(cellFloat(tab, r, 3), "postmark-speedup")
-			}
-		}
-	}
-}
-
-func BenchmarkFig10Ransomware(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure10(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var sum float64
-		for r := range tab.Rows {
-			sum += cellFloat(tab, r, 2)
-		}
-		b.ReportMetric(sum/float64(len(tab.Rows)), "recovery-s")
-	}
-}
-
-func BenchmarkFig11Revert(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Figure11(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var t1, t4 float64
-		for r := range tab.Rows {
-			t1 += cellFloat(tab, r, 1)
-			t4 += cellFloat(tab, r, 3)
-		}
-		b.ReportMetric(t1/t4, "thread-speedup")
-	}
-}
-
-func BenchmarkTable3Queries(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.Table3(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var tq float64
-		for r := range tab.Rows {
-			tq += cellFloat(tab, r, 1)
-		}
-		b.ReportMetric(tq/float64(len(tab.Rows)), "timequery-s")
-	}
-}
-
-func BenchmarkAblationNoCompression(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationCompression(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAblationGroupSize(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationGroupSize(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAblationThreshold(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationThreshold(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAblationMinRetention(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationMinRetention(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAblationMapCache(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationMapCache(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkAblationWear(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblationWear(c); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkArrayScaling(b *testing.B) {
-	c := benchConfig()
-	for i := 0; i < b.N; i++ {
-		tab, err := harness.ArrayScaling(c)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Headline: device-parallelism speedup of the 4-shard array over a
-		// single device under constant per-shard pressure (the weak row).
-		for _, row := range tab.Rows {
-			if row[0] == "weak" && row[1] == "4" {
-				v, _ := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
-				b.ReportMetric(v, "4shard-speedup")
-			}
-		}
-	}
-}
-
-// --- Micro-benchmarks -----------------------------------------------------
-
-func benchPage(seed int64, n int) []byte {
-	rng := rand.New(rand.NewSource(seed))
-	p := make([]byte, n)
-	for i := range p {
-		p[i] = byte(rng.Intn(8)) // compressible
-	}
-	return p
-}
-
-func BenchmarkLZFCompress4K(b *testing.B) {
-	src := benchPage(1, 4096)
-	b.SetBytes(4096)
-	var out []byte
-	for i := 0; i < b.N; i++ {
-		out = lzf.Compress(out[:0], src)
-	}
-}
-
-func BenchmarkLZFDecompress4K(b *testing.B) {
-	src := benchPage(1, 4096)
-	comp := lzf.Compress(nil, src)
-	b.SetBytes(4096)
-	var out []byte
-	for i := 0; i < b.N; i++ {
-		var err error
-		out, err = lzf.Decompress(out[:0], comp, 4096)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkDeltaEncode4K(b *testing.B) {
-	old := benchPage(1, 4096)
-	ref := append([]byte(nil), old...)
-	rng := rand.New(rand.NewSource(2))
-	for i := 0; i < 200; i++ {
-		ref[rng.Intn(4096)] ^= byte(1 + rng.Intn(255))
-	}
-	b.SetBytes(4096)
-	for i := 0; i < b.N; i++ {
-		delta.Encode(old, ref)
-	}
-}
-
-func BenchmarkBloomChainInvalidate(b *testing.B) {
-	c := bloom.NewChain(4096, 0.001, 16, 0)
-	for i := 0; i < b.N; i++ {
-		c.Invalidate(uint64(i), vclock.Time(i))
-	}
-}
-
-func BenchmarkBloomChainContains(b *testing.B) {
-	c := bloom.NewChain(4096, 0.001, 16, 0)
-	for i := 0; i < 100000; i++ {
-		c.Invalidate(uint64(i), vclock.Time(i))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Contains(uint64(i % 200000))
-	}
-}
-
-func benchDevice(b *testing.B) *core.TimeSSD {
-	b.Helper()
-	fc := flash.DefaultConfig()
-	fc.BlocksPerPlane = 128
-	cfg := core.DefaultConfig(ftl.WithFlash(fc))
-	cfg.MinRetention = 0
-	d, err := core.New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return d
-}
-
-func BenchmarkTimeSSDWrite(b *testing.B) {
-	d := benchDevice(b)
-	gen := trace.NewContentGen(d.PageSize(), trace.ContentSimilar, 1)
-	logical := uint64(d.LogicalPages()) / 2
-	at := vclock.Time(0)
-	b.SetBytes(int64(d.PageSize()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lpa := uint64(i) % logical
-		done, err := d.Write(lpa, gen.NextVersion(lpa), at)
-		if err != nil {
-			b.Fatal(err)
-		}
-		at = done.Add(vclock.Millisecond)
-	}
-}
-
-func BenchmarkTimeSSDRead(b *testing.B) {
-	d := benchDevice(b)
-	gen := trace.NewContentGen(d.PageSize(), trace.ContentSimilar, 1)
-	at, err := trace.Fill(d, 512, gen, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(d.PageSize()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := d.Read(uint64(i)%512, at); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkVersionsQuery(b *testing.B) {
-	d := benchDevice(b)
-	gen := trace.NewContentGen(d.PageSize(), trace.ContentSimilar, 1)
-	at := vclock.Time(0)
-	// 16 versions each over 64 pages.
-	for v := 0; v < 16; v++ {
-		for lpa := uint64(0); lpa < 64; lpa++ {
-			done, err := d.Write(lpa, gen.NextVersion(lpa), at)
-			if err != nil {
-				b.Fatal(err)
-			}
-			at = done.Add(vclock.Millisecond)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		vers, _, err := d.Versions(uint64(i)%64, at)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(vers) == 0 {
-			b.Fatal("no versions")
-		}
-	}
-}
+func BenchmarkLZFCompress4K(b *testing.B)        { bench.LZFCompress4K(b) }
+func BenchmarkLZFDecompress4K(b *testing.B)      { bench.LZFDecompress4K(b) }
+func BenchmarkDeltaEncode4K(b *testing.B)        { bench.DeltaEncode4K(b) }
+func BenchmarkBloomChainInvalidate(b *testing.B) { bench.BloomChainInvalidate(b) }
+func BenchmarkBloomChainContains(b *testing.B)   { bench.BloomChainContains(b) }
+func BenchmarkTimeSSDWrite(b *testing.B)         { bench.TimeSSDWrite(b) }
+func BenchmarkTimeSSDRead(b *testing.B)          { bench.TimeSSDRead(b) }
+func BenchmarkVersionsQuery(b *testing.B)        { bench.VersionsQuery(b) }

@@ -1,0 +1,164 @@
+// Command almabench runs the repository's benchmark bodies (internal/bench)
+// outside `go test` and records the results as a JSON trajectory point —
+// the committed BENCH_N.json files chart the hot paths' cost over the
+// project's history.
+//
+// Usage:
+//
+//	almabench [-out BENCH_5.json] [-figures] [-runs 3] [-check BENCH_5.json] [-tolerance 0.30]
+//
+// By default only the micro-benchmarks run (CI smoke); -figures adds the
+// full figure/table regeneration benchmarks. Each benchmark is run -runs
+// times and the fastest ns/op is kept — the minimum is the standard
+// noise-floor estimator on a shared host.
+//
+// With -check, the run is compared against a baseline JSON: a benchmark
+// whose ns/op or allocs/op exceeds baseline×(1+tolerance) fails the check.
+// ns/op is only comparable on the same host class as the baseline;
+// allocs/op is host-independent and is the robust cross-host signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"almanac/internal/bench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type trajectory struct {
+	Schema     string   `json:"schema"`
+	Note       string   `json:"note"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+const schema = "almanac-bench/v1"
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output JSON path (empty = stdout only)")
+	figures := flag.Bool("figures", false, "also run the figure/table regeneration benchmarks (slow)")
+	runs := flag.Int("runs", 3, "repetitions per benchmark; the fastest ns/op is kept")
+	check := flag.String("check", "", "baseline JSON to compare against; regression fails the run")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional regression vs the baseline")
+	flag.Parse()
+
+	specs := bench.Micro()
+	if *figures {
+		specs = append(specs, bench.Figures()...)
+	}
+
+	traj := trajectory{
+		Schema: schema,
+		Note:   "fastest of N runs; ns_per_op is host-dependent, allocs_per_op is not",
+	}
+	for _, s := range specs {
+		r := measure(s, *runs)
+		fmt.Printf("%-24s %14.1f ns/op %10d B/op %8d allocs/op\n",
+			s.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		traj.Benchmarks = append(traj.Benchmarks, r)
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
+	} else {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *check != "" {
+		if err := checkBaseline(traj, *check, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("check against %s passed (tolerance %.0f%%)\n", *check, *tolerance*100)
+	}
+}
+
+// measure runs one spec `runs` times, keeping the fastest ns/op; the
+// allocation stats come from the same fastest run (they are stable across
+// runs by construction — benchmarks are deterministic).
+func measure(s bench.Spec, runs int) result {
+	if runs < 1 {
+		runs = 1
+	}
+	best := result{Name: s.Name}
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s.Bench(b)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < best.NsPerOp {
+			best.NsPerOp = ns
+			best.BytesPerOp = r.AllocedBytesPerOp()
+			best.AllocsPerOp = r.AllocsPerOp()
+		}
+	}
+	return best
+}
+
+// checkBaseline compares the fresh run against a committed trajectory
+// point, failing on ns/op or allocs/op regressions beyond the tolerance.
+// Benchmarks absent from either side are skipped, so a micro-only smoke
+// run can be checked against a full baseline.
+func checkBaseline(traj trajectory, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base trajectory
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, r := range traj.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (+%.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100))
+		}
+		if r.AllocsPerOp > b.AllocsPerOp &&
+			float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance)+0.5 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "regression: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% tolerance", len(failures), tolerance*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "almabench:", err)
+	os.Exit(1)
+}

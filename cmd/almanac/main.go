@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	almanac [-scale quick|standard] [-seed N] [-list] [experiment ...]
+//	almanac [-scale quick|standard] [-seed N] [-j N] [-list] [experiment ...]
 //
 // With no experiment arguments it runs everything. Experiment names are
 // fig6 fig7 fig8 fig9a fig9b fig10 fig11 table3 ablation-compress
@@ -25,6 +25,7 @@ import (
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or standard")
 	seed := flag.Int64("seed", 1, "random seed (experiments are deterministic per seed)")
+	jobs := flag.Int("j", 0, "worker pool size for independent device configs (0 = GOMAXPROCS, 1 = serial; results are identical at any -j)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	replay := flag.String("replay", "", "replay a CSV trace (at_ns,op,lpa,pages) on both device types and compare")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *jobs
 
 	if *replay != "" {
 		if err := runReplay(cfg, *replay); err != nil {

@@ -388,9 +388,12 @@ func DeviceStatsView(c obs.Counters) DeviceStats {
 	}
 }
 
-// encCounters writes the full counter surface as 20 i64 values in
-// obs.Counters declaration order. The sequence is part of the v3 payload;
-// additions to obs.Counters require a protocol revision.
+// encCounters writes the simulated-device counter surface as 20 i64 values
+// in obs.Counters declaration order. The sequence is part of the v3 payload;
+// adding a simulated-device counter to obs.Counters requires a protocol
+// revision. Host-side telemetry in obs.Counters (the RefCache* fields, which
+// measure simulator performance rather than device behavior) is deliberately
+// not part of the payload and must stay out of counterSeq.
 func encCounters(e *enc, c obs.Counters) {
 	for _, v := range counterSeq(c) {
 		e.i64(v)

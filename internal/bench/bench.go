@@ -1,0 +1,52 @@
+// Package bench holds the benchmark bodies shared by the repository's
+// `go test -bench` suite (bench_test.go at the module root) and the
+// cmd/almabench trajectory tool, which runs them via testing.Benchmark and
+// records the results in BENCH_N.json. Keeping one copy of each body means
+// the committed trajectory numbers and the interactive benchmarks can never
+// drift apart.
+package bench
+
+import "testing"
+
+// Spec names one benchmark body for cmd/almabench.
+type Spec struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Micro returns the micro-benchmarks: codec, Bloom-chain and device
+// hot paths. These are cheap enough for a CI smoke run.
+func Micro() []Spec {
+	return []Spec{
+		{"LZFCompress4K", LZFCompress4K},
+		{"LZFDecompress4K", LZFDecompress4K},
+		{"DeltaEncode4K", DeltaEncode4K},
+		{"BloomChainInvalidate", BloomChainInvalidate},
+		{"BloomChainContains", BloomChainContains},
+		{"TimeSSDWrite", TimeSSDWrite},
+		{"TimeSSDRead", TimeSSDRead},
+		{"VersionsQuery", VersionsQuery},
+	}
+}
+
+// Figures returns the figure/table regeneration benchmarks — full harness
+// sweeps at reduced scale, seconds per op.
+func Figures() []Spec {
+	return []Spec{
+		{"Fig6ResponseTime", Fig6ResponseTime},
+		{"Fig7WriteAmp", Fig7WriteAmp},
+		{"Fig8Retention", Fig8Retention},
+		{"Fig9IOZone", Fig9IOZone},
+		{"Fig9OLTP", Fig9OLTP},
+		{"Fig10Ransomware", Fig10Ransomware},
+		{"Fig11Revert", Fig11Revert},
+		{"Table3Queries", Table3Queries},
+		{"AblationNoCompression", AblationNoCompression},
+		{"AblationGroupSize", AblationGroupSize},
+		{"AblationThreshold", AblationThreshold},
+		{"AblationMinRetention", AblationMinRetention},
+		{"AblationMapCache", AblationMapCache},
+		{"AblationWear", AblationWear},
+		{"ArrayScaling", ArrayScaling},
+	}
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"almanac/internal/harness"
+)
+
+// harnessConfig is the reduced-scale harness configuration for the figure
+// benchmarks.
+func harnessConfig() harness.Config {
+	c := harness.Quick()
+	c.Days = 3
+	c.ReqPerDay = 250
+	c.Fig8MSRLens = []int{7}
+	c.Fig8FIULens = []int{7}
+	c.IOZoneOps = 200
+	c.PostMarkTxns = 120
+	c.OLTPTxns = 80
+	c.OLTPTablePages = 128
+	c.RansomScale = 0.15
+	c.Fig11Commits = 30
+	return c
+}
+
+// cellFloat pulls a numeric cell out of a rendered table row.
+func cellFloat(tab *harness.Table, row, col int) float64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(tab.Rows[row][col], "+"), "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// Fig6ResponseTime regenerates Figure 6 and reports the mean TimeSSD
+// response time across its rows (ms).
+func Fig6ResponseTime(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure6(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for r := range tab.Rows {
+			sum += cellFloat(tab, r, 3)
+		}
+		b.ReportMetric(sum/float64(len(tab.Rows)), "ms-response")
+	}
+}
+
+// Fig7WriteAmp regenerates Figure 7 and reports mean TimeSSD write
+// amplification.
+func Fig7WriteAmp(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure7(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for r := range tab.Rows {
+			sum += cellFloat(tab, r, 3)
+		}
+		b.ReportMetric(sum/float64(len(tab.Rows)), "write-amp")
+	}
+}
+
+// Fig8Retention regenerates Figure 8 and reports mean retention (days).
+func Fig8Retention(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure8(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for r := range tab.Rows {
+			sum += cellFloat(tab, r, 4)
+		}
+		b.ReportMetric(sum/float64(len(tab.Rows)), "retention-days")
+	}
+}
+
+// Fig9IOZone regenerates Figure 9a and reports TimeSSD's random-write
+// speedup over Ext4.
+func Fig9IOZone(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure9IOZone(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r, row := range tab.Rows {
+			if row[0] == "RandomWrite" {
+				b.ReportMetric(cellFloat(tab, r, 3), "randwrite-speedup")
+			}
+		}
+	}
+}
+
+// Fig9OLTP regenerates Figure 9b and reports TimeSSD's PostMark speedup.
+func Fig9OLTP(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure9OLTP(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r, row := range tab.Rows {
+			if row[0] == "PostMark" {
+				b.ReportMetric(cellFloat(tab, r, 3), "postmark-speedup")
+			}
+		}
+	}
+}
+
+// Fig10Ransomware regenerates Figure 10 and reports mean TimeSSD recovery
+// time (virtual seconds).
+func Fig10Ransomware(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure10(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for r := range tab.Rows {
+			sum += cellFloat(tab, r, 2)
+		}
+		b.ReportMetric(sum/float64(len(tab.Rows)), "recovery-s")
+	}
+}
+
+// Fig11Revert regenerates Figure 11 and reports the 1→4 thread speedup.
+func Fig11Revert(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Figure11(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var t1, t4 float64
+		for r := range tab.Rows {
+			t1 += cellFloat(tab, r, 1)
+			t4 += cellFloat(tab, r, 3)
+		}
+		b.ReportMetric(t1/t4, "thread-speedup")
+	}
+}
+
+// Table3Queries regenerates Table 3 and reports mean TimeQuery seconds.
+func Table3Queries(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.Table3(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tq float64
+		for r := range tab.Rows {
+			tq += cellFloat(tab, r, 1)
+		}
+		b.ReportMetric(tq/float64(len(tab.Rows)), "timequery-s")
+	}
+}
+
+// AblationNoCompression regenerates the compression ablation.
+func AblationNoCompression(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationCompression(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationGroupSize regenerates the Bloom group-size ablation.
+func AblationGroupSize(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationGroupSize(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationThreshold regenerates the GC-threshold ablation.
+func AblationThreshold(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationThreshold(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationMinRetention regenerates the retention-bound ablation.
+func AblationMinRetention(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationMinRetention(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationMapCache regenerates the mapping-cache ablation.
+func AblationMapCache(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationMapCache(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationWear regenerates the wear-leveling ablation.
+func AblationWear(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblationWear(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ArrayScaling regenerates the array-scaling sweep and reports the 4-shard
+// weak-scaling speedup.
+func ArrayScaling(b *testing.B) {
+	c := harnessConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.ArrayScaling(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[0] == "weak" && row[1] == "4" {
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+				b.ReportMetric(v, "4shard-speedup")
+			}
+		}
+	}
+}

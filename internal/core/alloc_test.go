@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"almanac/internal/invariant"
+	"almanac/internal/vclock"
+)
+
+// TestReadAllocs pins the steady-state zero-allocation contract of the host
+// read path: once the mapping is warm, Read must serve the live version
+// without touching the heap.
+func TestReadAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("almanacdebug shadow assertions allocate")
+	}
+	d := newTiny(t, nil)
+	at := vclock.Time(0)
+	const pages = 8
+	for lpa := uint64(0); lpa < pages; lpa++ {
+		at = at.Add(vclock.Second)
+		done, err := d.Write(lpa, versionPage(d, lpa, 0), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	lpa := uint64(0)
+	n := testing.AllocsPerRun(100, func() {
+		if _, _, err := d.Read(lpa, at); err != nil {
+			t.Fatal(err)
+		}
+		lpa = (lpa + 1) % pages
+	})
+	if n != 0 {
+		t.Fatalf("Read allocates %.2f times per call in steady state, want 0", n)
+	}
+}

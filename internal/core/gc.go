@@ -335,7 +335,13 @@ func (t *TimeSSD) emitDelta(v *chainVersion, ref []byte, refTS vclock.Time, at v
 	seg := t.cohortFor(v.seg)
 
 	if !t.cfg.DisableCompression {
-		enc, payload := delta.Encode(v.data, ref)
+		// Encode into the device's reusable scratch, then copy out
+		// right-sized: the payload outlives this call inside the pending
+		// buffer, and sealRetained returns its input unchanged when no
+		// retention key is configured.
+		enc, scratch := delta.Encode(t.encScratch[:0], v.data, ref)
+		t.encScratch = scratch[:0]
+		payload := append(make([]byte, 0, len(scratch)), scratch...)
 		t.GC.DeltaOps++
 		t.st.DeltasCreated++
 		at = at.Add(t.cfg.DeltaCost)

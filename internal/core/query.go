@@ -1,10 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"math"
 
 	"almanac/internal/delta"
 	"almanac/internal/flash"
+	"almanac/internal/invariant"
 	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
@@ -76,7 +78,7 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 	// then the on-flash chain headed by the index mapping table.
 	dcur := flash.NullPPA
 	if p, ok := t.pending[lpa]; ok && p.d.TS < prevTS {
-		if data, err := t.decodeDelta(p.d, byTS); err == nil {
+		if data, hit := t.cachedDecode(p.d, byTS); hit {
 			at = t.chargeDecode(p.d.Enc, at)
 			out = append(out, Version{TS: p.d.TS, Data: data})
 			byTS[p.d.TS] = data
@@ -98,27 +100,29 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 			if oob.LPA != lpa || oob.TS >= prevTS {
 				return out, at, nil
 			}
-			cp := t.openRetained(oob.LPA, oob.TS, append([]byte(nil), data...))
+			cp := t.refcache.get(lpa, oob.TS)
+			if cp != nil {
+				if invariant.Enabled && !t.faultsArmed {
+					cold := t.openRetained(oob.LPA, oob.TS, append([]byte(nil), data...))
+					invariant.Assert(bytes.Equal(cold, cp),
+						"refcache: cached raw version differs from cold decode (lpa %d ts %d)", lpa, oob.TS)
+				}
+				cp = append([]byte(nil), cp...)
+			} else {
+				cp = t.openRetained(oob.LPA, oob.TS, append([]byte(nil), data...))
+				t.refcache.put(lpa, oob.TS, cp)
+			}
 			out = append(out, Version{TS: oob.TS, Data: cp})
 			byTS[oob.TS] = cp
 			prevTS = oob.TS
 			dcur = oob.BackPtr
 		case flash.KindDelta:
-			ds, err := delta.UnpackPage(data)
-			if err != nil {
+			var mine delta.Delta
+			if found, err := delta.FindInPage(data, lpa, prevTS, &mine); err != nil || !found {
 				return out, at, nil
 			}
-			var mine *delta.Delta
-			for _, d := range ds {
-				if d.LPA == lpa && d.TS < prevTS && (mine == nil || d.TS > mine.TS) {
-					mine = d
-				}
-			}
-			if mine == nil {
-				return out, at, nil
-			}
-			dec, err := t.decodeDelta(mine, byTS)
-			if err != nil {
+			dec, ok := t.cachedDecode(&mine, byTS)
+			if !ok {
 				return out, at, nil
 			}
 			at = t.chargeDecode(mine.Enc, at)
@@ -131,6 +135,29 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 		}
 	}
 	return out, at, nil
+}
+
+// cachedDecode reconstructs a delta's version through the reference cache:
+// on a hit the host-side decode (LZF, XOR, retained-data decryption) is
+// skipped, on a miss the cold decode is performed and cached. Either way the
+// caller charges the same virtual-time decode cost — the cache alters host
+// speed only. The returned slice is private to the caller.
+func (t *TimeSSD) cachedDecode(d *delta.Delta, byTS map[vclock.Time][]byte) ([]byte, bool) {
+	if cached := t.refcache.get(d.LPA, d.TS); cached != nil {
+		if invariant.Enabled && !t.faultsArmed {
+			cold, err := t.decodeDelta(d, byTS)
+			invariant.AssertNoErr(err, "refcache shadow decode")
+			invariant.Assert(bytes.Equal(cold, cached),
+				"refcache: cached version differs from cold decode (lpa %d ts %d)", d.LPA, d.TS)
+		}
+		return append([]byte(nil), cached...), true
+	}
+	dec, err := t.decodeDelta(d, byTS)
+	if err != nil {
+		return nil, false
+	}
+	t.refcache.put(d.LPA, d.TS, dec)
+	return dec, true
 }
 
 // chargeDecode charges the firmware CPU cost of decompressing one delta
@@ -241,17 +268,8 @@ func (t *TimeSSD) Timestamps(lpa uint64, at vclock.Time) ([]vclock.Time, vclock.
 		if oob.Kind != flash.KindDelta {
 			break
 		}
-		ds, err := delta.UnpackPage(data)
-		if err != nil {
-			break
-		}
-		var mine *delta.Delta
-		for _, d := range ds {
-			if d.LPA == lpa && d.TS < prevTS && (mine == nil || d.TS > mine.TS) {
-				mine = d
-			}
-		}
-		if mine == nil {
+		var mine delta.Delta
+		if found, err := delta.FindInPage(data, lpa, prevTS, &mine); err != nil || !found {
 			break
 		}
 		out = append(out, mine.TS)

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"container/list"
+
+	"almanac/internal/vclock"
+)
+
+// refCache is a bounded LRU of decoded retained versions keyed by
+// (LPA, write timestamp). Version walks re-decode the same delta chains on
+// every query (§3.7 walks are newest-first, and a page's older versions
+// reappear in every Versions/VersionAt call that reaches them); the cache
+// skips the host-side work of a repeat decode — LZF decompression, XOR
+// reconstruction, and retained-data decryption — while the walk still issues
+// every flash read and still charges the firmware's delta-decode cost, so
+// virtual-time results are identical with the cache on, off, or cold.
+//
+// A (LPA, TS) pair names immutable content while the version is retrievable;
+// the entry is dropped anyway on every event that could retire or replace
+// the version (host write and trim of the LPA, rollback — which is writes
+// and trims, window shortening, cohort retirement). Rebuild builds a fresh
+// device and therefore starts cold by construction.
+//
+// The cache is per-device host-side state, like the maps of the FTL model:
+// devices are single-goroutine, so no locking.
+type refCache struct {
+	slots int
+	lru   *list.List // front = most recently used; values are *refEntry
+	byKey map[refKey]*list.Element
+	byLPA map[uint64]map[vclock.Time]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type refKey struct {
+	lpa uint64
+	ts  vclock.Time
+}
+
+type refEntry struct {
+	key  refKey
+	data []byte // cache-owned copy of the decoded version
+}
+
+// newRefCache returns a cache holding at most slots decoded versions, or
+// nil (fully disabled) when slots <= 0.
+func newRefCache(slots int) *refCache {
+	if slots <= 0 {
+		return nil
+	}
+	return &refCache{
+		slots: slots,
+		lru:   list.New(),
+		byKey: make(map[refKey]*list.Element),
+		byLPA: make(map[uint64]map[vclock.Time]*list.Element),
+	}
+}
+
+// get returns the cached decode of version (lpa, ts), or nil. The returned
+// slice is the cache's own copy: callers must not mutate it.
+func (c *refCache) get(lpa uint64, ts vclock.Time) []byte {
+	if c == nil {
+		return nil
+	}
+	el, ok := c.byKey[refKey{lpa, ts}]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*refEntry).data
+}
+
+// put stores a copy of data as the decode of version (lpa, ts), evicting
+// the least recently used entry if the cache is full.
+func (c *refCache) put(lpa uint64, ts vclock.Time, data []byte) {
+	if c == nil {
+		return
+	}
+	key := refKey{lpa, ts}
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return // content for a live key is immutable; nothing to refresh
+	}
+	if c.lru.Len() >= c.slots {
+		c.evict(c.lru.Back())
+		c.evictions++
+	}
+	el := c.lru.PushFront(&refEntry{key: key, data: append([]byte(nil), data...)})
+	c.byKey[key] = el
+	perLPA := c.byLPA[lpa]
+	if perLPA == nil {
+		perLPA = make(map[vclock.Time]*list.Element)
+		c.byLPA[lpa] = perLPA
+	}
+	perLPA[ts] = el
+}
+
+func (c *refCache) evict(el *list.Element) {
+	e := el.Value.(*refEntry)
+	c.lru.Remove(el)
+	delete(c.byKey, e.key)
+	if perLPA := c.byLPA[e.key.lpa]; perLPA != nil {
+		delete(perLPA, e.key.ts)
+		if len(perLPA) == 0 {
+			delete(c.byLPA, e.key.lpa)
+		}
+	}
+}
+
+// invalidateLPA drops every cached version of lpa (host write, trim, and
+// the writes/trims a rollback issues).
+func (c *refCache) invalidateLPA(lpa uint64) {
+	if c == nil {
+		return
+	}
+	for _, el := range c.byLPA[lpa] {
+		e := el.Value.(*refEntry)
+		c.lru.Remove(el)
+		delete(c.byKey, e.key)
+	}
+	delete(c.byLPA, lpa)
+}
+
+// invalidateAll empties the cache (window shortening and cohort
+// retirement may expire versions of any LPA).
+func (c *refCache) invalidateAll() {
+	if c == nil {
+		return
+	}
+	c.lru.Init()
+	clear(c.byKey)
+	clear(c.byLPA)
+}
+
+// len reports the number of cached versions.
+func (c *refCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.lru.Len()
+}

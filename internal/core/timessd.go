@@ -86,6 +86,12 @@ type Config struct {
 	// DisableIdleCompression keeps GC-time compression but disables the
 	// idle-cycle background pass (ablation).
 	DisableIdleCompression bool
+
+	// RefCacheSlots bounds the host-side cache of decoded retained versions
+	// used by the query paths (<= 0 disables it). The cache changes host
+	// speed only: flash reads and firmware decode costs are charged
+	// identically on hit and miss.
+	RefCacheSlots int
 }
 
 // DefaultConfig derives TimeSSD defaults from FTL parameters.
@@ -118,6 +124,7 @@ func DefaultConfig(p ftl.Params) Config {
 		BFFalsePositive: 0.001,
 		BFGroup:         16,
 		CohortSegments:  cohortSize(p.Flash.TotalBlocks()),
+		RefCacheSlots:   1024,
 	}
 }
 
@@ -180,6 +187,11 @@ type Stats struct {
 	IdleCompressions  int64 // pages compressed during idle cycles
 	EstimatorChecks   int64
 	EstimatorTrips    int64 // periods in which Eq. 1 exceeded TH
+
+	// Host-side reference-cache telemetry (see Config.RefCacheSlots).
+	RefCacheHits      int64
+	RefCacheMisses    int64
+	RefCacheEvictions int64
 }
 
 // TimeSSD is the time-traveling FTL.
@@ -214,6 +226,13 @@ type TimeSSD struct {
 
 	gcAudits int64 // almanacdebug: GC passes since the last deep audit
 
+	// Host-side hot-path state. Devices are single-goroutine (simulated
+	// threads share a device serially; array shards own their devices), so
+	// the scratch buffers need no locks.
+	refcache    *refCache // decoded-version cache for query paths
+	encScratch  []byte    // delta.Encode staging, reused across GC compressions
+	faultsArmed bool      // skip almanacdebug shadow decodes under injected faults
+
 	// rebuiltAt is the rebuild instant when this device was mounted by
 	// Rebuild (zero for a fresh device): the newest write timestamp found
 	// on the medium, where the retention window restarts.
@@ -244,14 +263,15 @@ func New(cfg Config) (*TimeSSD, error) {
 		cfg.CohortSegments = 1
 	}
 	t := &TimeSSD{
-		Base:    b,
-		cfg:     cfg,
-		zero:    make([]byte, cfg.FTL.Flash.PageSize),
-		chain:   bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, 0),
-		imt:     make(map[uint64]flash.PPA),
-		pending: make(map[uint64]pendingDelta),
-		prt:     make([]bool, cfg.FTL.Flash.TotalPages()),
-		trimmed: make(map[uint64]trimRecord),
+		Base:     b,
+		cfg:      cfg,
+		zero:     make([]byte, cfg.FTL.Flash.PageSize),
+		chain:    bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, 0),
+		imt:      make(map[uint64]flash.PPA),
+		pending:  make(map[uint64]pendingDelta),
+		prt:      make([]bool, cfg.FTL.Flash.TotalPages()),
+		trimmed:  make(map[uint64]trimRecord),
+		refcache: newRefCache(cfg.RefCacheSlots),
 	}
 	t.cohorts = make(map[int]*segment)
 	if err := t.initCipher(); err != nil {
@@ -279,8 +299,14 @@ func (t *TimeSSD) RebuiltAt() vclock.Time { return t.rebuiltAt }
 
 // SetFaults arms a plan-driven fault injector on the device's flash array
 // (nil restores the perfect device). Core owns the forwarding so host-side
-// layers stay behind the firmware boundary.
-func (t *TimeSSD) SetFaults(inj *fault.Injector) { t.Arr.SetFaults(inj) }
+// layers stay behind the firmware boundary. While an injector is armed the
+// almanacdebug shadow decode of reference-cache hits is suspended: injected
+// silent corruption makes a cold re-decode legitimately differ from the
+// cached (good) bytes.
+func (t *TimeSSD) SetFaults(inj *fault.Injector) {
+	t.faultsArmed = inj != nil
+	t.Arr.SetFaults(inj)
+}
 
 func (t *TimeSSD) newSegment() *segment {
 	return &segment{buf: delta.NewBuffer(t.cfg.FTL.Flash.PageSize), activeBlk: -1}
@@ -306,6 +332,9 @@ func TimeStatsView(c obs.Counters) Stats {
 		IdleCompressions:  c.IdleCompressions,
 		EstimatorChecks:   c.EstimatorChecks,
 		EstimatorTrips:    c.EstimatorTrips,
+		RefCacheHits:      c.RefCacheHits,
+		RefCacheMisses:    c.RefCacheMisses,
+		RefCacheEvictions: c.RefCacheEvictions,
 	}
 }
 
@@ -321,6 +350,11 @@ func (t *TimeSSD) Counters() obs.Counters {
 	c.IdleCompressions = t.st.IdleCompressions
 	c.EstimatorChecks = t.st.EstimatorChecks
 	c.EstimatorTrips = t.st.EstimatorTrips
+	if t.refcache != nil {
+		c.RefCacheHits = t.refcache.hits
+		c.RefCacheMisses = t.refcache.misses
+		c.RefCacheEvictions = t.refcache.evictions
+	}
 	return c
 }
 
@@ -409,6 +443,7 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 		t.recordInvalidation(old, issue)
 	}
 	t.AMT[lpa] = ppa
+	t.refcache.invalidateLPA(lpa)
 	t.HostPageWrites++
 	t.periodWrites++
 	if t.periodWrites >= int64(t.cfg.NFixed) {
@@ -435,6 +470,7 @@ func (t *TimeSSD) Trim(lpa uint64, at vclock.Time) (vclock.Time, error) {
 		t.recordInvalidation(old, at)
 		t.AMT[lpa] = flash.NullPPA
 		t.trimmed[lpa] = trimRecord{head: old, ts: at}
+		t.refcache.invalidateLPA(lpa)
 	}
 	t.obs.Record(obs.HostTrim, lpa, int64(issue), int64(at), ws, true)
 	return at, nil
@@ -508,6 +544,10 @@ func (t *TimeSSD) shortenWindow(now vclock.Time) bool {
 	}
 	t.st.WindowDrops++
 	t.droppedSegs++
+	// Any LPA's oldest cached versions may have just expired; the walk would
+	// stop before reaching them, but a shrunken window must never serve
+	// decoded bytes the chain no longer reaches.
+	t.refcache.invalidateAll()
 	// Retire every cohort whose last segment has now been dropped: all the
 	// versions its delta blocks hold are expired, so the blocks are
 	// erasable without migration.
@@ -539,6 +579,7 @@ func (t *TimeSSD) retireCohort(id int, seg *segment) {
 			}
 		}
 	}
+	t.refcache.invalidateAll()
 	delete(t.cohorts, id)
 }
 

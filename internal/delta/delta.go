@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"almanac/internal/lzf"
 	"almanac/internal/vclock"
@@ -51,68 +52,90 @@ type Delta struct {
 // ErrCorruptPage is returned when a delta page fails to parse.
 var ErrCorruptPage = errors.New("delta: corrupt delta page")
 
-// Encode compresses old against ref (both pageSize long) and returns the
-// payload plus the encoding chosen. ref may be nil, in which case the old
-// version is self-compressed (EncRawLZF or EncRaw).
-func Encode(old, ref []byte) (Encoding, []byte) {
+// xorScratch pools the XOR staging buffer Encode needs for EncXORLZF; the
+// harness compresses on many devices concurrently, so the pool (rather than
+// a package-level buffer) keeps Encode safe to call from parallel workers.
+var xorScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// xorBytes stores a XOR b into dst, one 8-byte word at a time. All three
+// slices must have equal length; dst may alias a.
+func xorBytes(dst, a, b []byte) {
+	n := len(a)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// Encode compresses old against ref (both pageSize long), appends the chosen
+// payload to dst, and returns the encoding plus the extended slice. ref may
+// be nil, in which case the old version is self-compressed (EncRawLZF or
+// EncRaw). Callers reuse dst across calls to amortise allocations; pass nil
+// for a one-shot encode.
+func Encode(dst, old, ref []byte) (Encoding, []byte) {
 	if ref != nil && len(ref) != len(old) {
 		panic("delta: reference and version sizes differ")
 	}
-	var src []byte
+	base := len(dst)
+	src := old
 	enc := EncRawLZF
 	if ref != nil {
-		src = make([]byte, len(old))
-		for i := range old {
-			src[i] = old[i] ^ ref[i]
+		sp := xorScratch.Get().(*[]byte)
+		s := *sp
+		if cap(s) < len(old) {
+			s = make([]byte, len(old))
 		}
+		s = s[:len(old)]
+		xorBytes(s, old, ref)
+		src = s
 		enc = EncXORLZF
-	} else {
-		src = old
+		defer func() { *sp = s; xorScratch.Put(sp) }()
 	}
-	out := lzf.Compress(make([]byte, 0, len(old)/2), src)
-	if len(out) >= len(old) {
+	dst = lzf.Compress(dst, src)
+	if len(dst)-base >= len(old) {
 		// Compression did not pay; store verbatim.
-		raw := make([]byte, len(old))
-		copy(raw, old)
-		return EncRaw, raw
+		dst = append(dst[:base], old...)
+		return EncRaw, dst
 	}
-	return enc, out
+	return enc, dst
 }
 
 // Decode reconstructs the obsolete version from payload. ref must be the
 // page content whose write timestamp equals the delta's RefTS when Enc is
 // EncXORLZF; it is ignored otherwise. pageSize bounds the output.
 func Decode(enc Encoding, payload, ref []byte, pageSize int) ([]byte, error) {
+	return DecodeAppend(make([]byte, 0, pageSize), enc, payload, ref, pageSize)
+}
+
+// DecodeAppend is Decode with a caller-supplied destination: the decoded
+// version is appended to dst and the extended slice returned. Query paths
+// use it with pooled buffers to keep steady-state decodes allocation-free.
+func DecodeAppend(dst []byte, enc Encoding, payload, ref []byte, pageSize int) ([]byte, error) {
+	base := len(dst)
 	switch enc {
 	case EncRaw:
 		if len(payload) != pageSize {
 			return nil, fmt.Errorf("delta: raw payload is %d bytes, want %d", len(payload), pageSize)
 		}
-		out := make([]byte, pageSize)
-		copy(out, payload)
-		return out, nil
-	case EncRawLZF:
-		out, err := lzf.Decompress(make([]byte, 0, pageSize), payload, pageSize)
-		if err != nil {
-			return nil, err
-		}
-		if len(out) != pageSize {
-			return nil, fmt.Errorf("delta: decoded %d bytes, want %d", len(out), pageSize)
-		}
-		return out, nil
-	case EncXORLZF:
-		if len(ref) != pageSize {
+		return append(dst, payload...), nil
+	case EncRawLZF, EncXORLZF:
+		if enc == EncXORLZF && len(ref) != pageSize {
 			return nil, fmt.Errorf("delta: reference is %d bytes, want %d", len(ref), pageSize)
 		}
-		out, err := lzf.Decompress(make([]byte, 0, pageSize), payload, pageSize)
+		out, err := lzf.Decompress(dst, payload, pageSize)
 		if err != nil {
 			return nil, err
 		}
-		if len(out) != pageSize {
-			return nil, fmt.Errorf("delta: decoded %d bytes, want %d", len(out), pageSize)
+		if len(out)-base != pageSize {
+			return nil, fmt.Errorf("delta: decoded %d bytes, want %d", len(out)-base, pageSize)
 		}
-		for i := range out {
-			out[i] ^= ref[i]
+		if enc == EncXORLZF {
+			body := out[base:]
+			xorBytes(body, body, ref)
 		}
 		return out, nil
 	default:
@@ -206,6 +229,46 @@ func UnpackPage(buf []byte) ([]*Delta, error) {
 		pos += entrySize
 	}
 	return out, nil
+}
+
+// FindInPage scans a delta page for the newest entry belonging to lpa with
+// a write timestamp strictly before `before`, filling d and returning true
+// on a hit. Unlike UnpackPage it copies nothing: d.Payload aliases buf, so
+// the result is only valid while buf is (flash page images are stable until
+// their block is erased). Version walks use it to avoid materialising every
+// delta in a page when they need exactly one.
+func FindInPage(buf []byte, lpa uint64, before vclock.Time, d *Delta) (bool, error) {
+	if len(buf) < headerSize {
+		return false, ErrCorruptPage
+	}
+	n := int(binary.LittleEndian.Uint16(buf[0:2]))
+	if headerSize+n*entrySize > len(buf) {
+		return false, fmt.Errorf("%w: %d entries do not fit", ErrCorruptPage, n)
+	}
+	found := false
+	pos := headerSize
+	for i := 0; i < n; i++ {
+		eLPA := binary.LittleEndian.Uint64(buf[pos+9:])
+		eTS := vclock.Time(binary.LittleEndian.Uint64(buf[pos+25:]))
+		if eLPA == lpa && eTS < before && (!found || eTS > d.TS) {
+			off := int(binary.LittleEndian.Uint32(buf[pos:]))
+			plen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+			if off < 0 || plen < 0 || off+plen > len(buf) {
+				return false, fmt.Errorf("%w: entry %d payload out of range", ErrCorruptPage, i)
+			}
+			*d = Delta{
+				Enc:     Encoding(buf[pos+8]),
+				LPA:     eLPA,
+				BackPtr: binary.LittleEndian.Uint64(buf[pos+17:]),
+				TS:      eTS,
+				RefTS:   vclock.Time(binary.LittleEndian.Uint64(buf[pos+33:])),
+				Payload: buf[off : off+plen : off+plen],
+			}
+			found = true
+		}
+		pos += entrySize
+	}
+	return found, nil
 }
 
 // Buffer coalesces deltas until a page fills (§3.6's "delta buffers").

@@ -28,7 +28,7 @@ func TestEncodeDecodeXOR(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, frac := range []float64{0, 0.01, 0.05, 0.2, 0.5} {
 		old, ref := similarPages(rng, frac)
-		enc, payload := Encode(old, ref)
+		enc, payload := Encode(nil, old, ref)
 		got, err := Decode(enc, payload, ref, pageSize)
 		if err != nil {
 			t.Fatalf("frac=%v: decode: %v", frac, err)
@@ -42,7 +42,7 @@ func TestEncodeDecodeXOR(t *testing.T) {
 func TestEncodeSimilarPagesCompressWell(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	old, ref := similarPages(rng, 0.05)
-	enc, payload := Encode(old, ref)
+	enc, payload := Encode(nil, old, ref)
 	if enc != EncXORLZF {
 		t.Fatalf("similar pages chose encoding %v", enc)
 	}
@@ -56,7 +56,7 @@ func TestEncodeIncompressibleFallsBackToRaw(t *testing.T) {
 	old := make([]byte, pageSize)
 	rng.Read(old)
 	// No reference at all and random content: LZF will not pay.
-	enc, payload := Encode(old, nil)
+	enc, payload := Encode(nil, old, nil)
 	if enc != EncRaw {
 		t.Fatalf("random content without reference chose %v, want EncRaw", enc)
 	}
@@ -68,7 +68,7 @@ func TestEncodeIncompressibleFallsBackToRaw(t *testing.T) {
 
 func TestEncodeNoReference(t *testing.T) {
 	old := bytes.Repeat([]byte("log entry "), 410)[:pageSize]
-	enc, payload := Encode(old, nil)
+	enc, payload := Encode(nil, old, nil)
 	if enc != EncRawLZF {
 		t.Fatalf("compressible content without reference chose %v", enc)
 	}
@@ -94,7 +94,7 @@ func TestQuickXORRoundTrip(t *testing.T) {
 	f := func(seed int64, changes uint16) bool {
 		rng := rand.New(rand.NewSource(seed))
 		old, ref := similarPages(rng, float64(changes%1000)/1000)
-		enc, payload := Encode(old, ref)
+		enc, payload := Encode(nil, old, ref)
 		got, err := Decode(enc, payload, ref, pageSize)
 		return err == nil && bytes.Equal(got, old)
 	}

@@ -29,7 +29,7 @@ func FuzzDeltaEncodeDecode(f *testing.F) {
 		} else {
 			ref = nil
 		}
-		enc, payload := Encode(old, ref)
+		enc, payload := Encode(nil, old, ref)
 		got, err := Decode(enc, payload, ref, len(old))
 		if err != nil {
 			t.Fatalf("Decode(enc=%d) of own payload failed: %v", enc, err)

@@ -47,21 +47,29 @@ func AblationCompression(c Config) (*Table, error) {
 		Title:  "Ablation: delta compression (workload src @80% usage)",
 		Header: []string{"variant", "resp(ms)", "write-amp", "retention(days)", "deltas"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name   string
 		mutate func(*core.Config)
 	}{
 		{"full (compression on)", nil},
 		{"no idle compression", func(cc *core.Config) { cc.DisableIdleCompression = true }},
 		{"no compression at all", func(cc *core.Config) { cc.DisableCompression = true }},
-	} {
+	}
+	rows := make([][]string, len(variants))
+	err := c.parallel(len(variants), func(i int) error {
+		v := variants[i]
 		resp, wa, ret, st, err := c.ablationRun(v.mutate)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return fmt.Errorf("%s: %w", v.name, err)
 		}
-		t.AddRow(v.name, fmt.Sprintf("%.3f", resp), f2(wa), fmt.Sprintf("%.1f", ret),
-			fmt.Sprintf("%d", st.DeltasCreated))
+		rows[i] = []string{v.name, fmt.Sprintf("%.3f", resp), f2(wa), fmt.Sprintf("%.1f", ret),
+			fmt.Sprintf("%d", st.DeltasCreated)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "expected: disabling compression shortens retention and/or raises GC cost; idle compression moves compression off the critical path")
 	return t, nil
 }
@@ -74,21 +82,29 @@ func AblationGroupSize(c Config) (*Table, error) {
 		Header: []string{"N", "resp(ms)", "retention(days)", "bf-segments", "window-drops"},
 	}
 	c = c.ablationConfig()
-	for _, n := range []int{1, 4, 16, 64} {
+	groups := []int{1, 4, 16, 64}
+	rows := make([][]string, len(groups))
+	err := c.parallel(len(groups), func(i int) error {
+		n := groups[i]
 		dev, err := c.newTimeSSD(func(cc *core.Config) { cc.BFGroup = n })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := c.runTrace(dev, ablationWorkload, 0.8, c.Days)
 		if err != nil {
-			return nil, fmt.Errorf("N=%d: %w", n, err)
+			return fmt.Errorf("N=%d: %w", n, err)
 		}
-		t.AddRow(fmt.Sprintf("%d", n),
+		rows[i] = []string{fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.3f", run.stats.AvgResponse().Seconds()*1e3),
 			fmt.Sprintf("%.1f", dev.RetentionDuration(run.end).Hours()/24),
 			fmt.Sprintf("%d", dev.Segments()),
-			fmt.Sprintf("%d", dev.TimeStats().WindowDrops))
+			fmt.Sprintf("%d", dev.TimeStats().WindowDrops)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "the paper fixes N=16; the sweep shows the memory/precision trade-off is flat around it")
 	return t, nil
 }
@@ -103,7 +119,10 @@ func AblationThreshold(c Config) (*Table, error) {
 		Title:  "Ablation: GC-overhead threshold TH (continuous write stream @80% usage)",
 		Header: []string{"TH", "resp(ms)", "retention(days)", "estimator-trips", "window-drops"},
 	}
-	for _, th := range []float64{0.05, 0.1, 0.2, 0.5} {
+	ths := []float64{0.05, 0.1, 0.2, 0.5}
+	rows := make([][]string, len(ths))
+	err := c.parallel(len(ths), func(i int) error {
+		th := ths[i]
 		dev, err := c.newTimeSSD(func(cc *core.Config) {
 			cc.TH = th
 			// The sweep isolates Eq. 1: no minimum bound, so the estimator
@@ -111,13 +130,13 @@ func AblationThreshold(c Config) (*Table, error) {
 			cc.MinRetention = 0
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		footprint := uint64(float64(dev.LogicalPages()) * 0.8)
 		gen := trace.NewContentGen(dev.PageSize(), trace.ContentSimilar, c.Seed)
 		warmEnd, err := trace.Fill(dev, footprint, gen, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		spec := trace.Spec{
 			Name:        "continuous",
@@ -134,21 +153,26 @@ func AblationThreshold(c Config) (*Table, error) {
 		}
 		reqs, err := trace.Generate(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i := range reqs {
 			reqs[i].At = reqs[i].At + warmEnd.Add(vclock.Second)
 		}
 		st, err := trace.Replay(dev, reqs, trace.ReplayOptions{Content: gen, AnnounceIdle: true})
 		if err != nil {
-			return nil, fmt.Errorf("TH=%.2f: %w", th, err)
+			return fmt.Errorf("TH=%.2f: %w", th, err)
 		}
-		t.AddRow(fmt.Sprintf("%.2f", th),
+		rows[i] = []string{fmt.Sprintf("%.2f", th),
 			fmt.Sprintf("%.3f", st.AvgResponse().Seconds()*1e3),
 			fmt.Sprintf("%.1f", dev.RetentionDuration(st.End).Hours()/24),
 			fmt.Sprintf("%d", dev.TimeStats().EstimatorTrips),
-			fmt.Sprintf("%d", dev.TimeStats().WindowDrops))
+			fmt.Sprintf("%d", dev.TimeStats().WindowDrops)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"larger TH tolerates more GC overhead per write, buying longer retention (§3.4 trade-off)",
 		"finding: at simulator scale the space-pressure shedder reacts before Eq. 1 accumulates a period, so the sweep is nearly flat — retention here is space-bound, not overhead-bound")
@@ -165,22 +189,30 @@ func AblationMinRetention(c Config) (*Table, error) {
 		Header: []string{"bound", "resp(ms)", "retention(days)", "write-failures"},
 	}
 	c = c.ablationConfig()
-	for _, bound := range []vclock.Duration{0, vclock.Hour, 12 * vclock.Hour, 2 * vclock.Day} {
+	bounds := []vclock.Duration{0, vclock.Hour, 12 * vclock.Hour, 2 * vclock.Day}
+	rows := make([][]string, len(bounds))
+	err := c.parallel(len(bounds), func(i int) error {
+		bound := bounds[i]
 		dev, err := c.newTimeSSD(func(cc *core.Config) { cc.MinRetention = bound })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Replay counts (rather than aborts on) refused writes, which is
 		// the quantity this sweep reports.
 		run, err := c.runTrace(dev, ablationWorkload, 0.8, c.Days)
 		if err != nil {
-			return nil, fmt.Errorf("bound=%v: %w", bound, err)
+			return fmt.Errorf("bound=%v: %w", bound, err)
 		}
-		t.AddRow(bound.String(),
+		rows[i] = []string{bound.String(),
 			fmt.Sprintf("%.3f", run.stats.AvgResponse().Seconds()*1e3),
 			fmt.Sprintf("%.1f", dev.RetentionDuration(run.end).Hours()/24),
-			fmt.Sprintf("%d", run.stats.Errors))
+			fmt.Sprintf("%d", run.stats.Errors)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"a bound the device cannot afford shows up as refused writes — the paper's visible-failure defence against flooding attacks (§3.4, §3.10)")
 	return t, nil
@@ -199,7 +231,7 @@ func AblationMapCache(c Config) (*Table, error) {
 	if totalVPNs < 8 {
 		totalVPNs = 8
 	}
-	for _, frac := range []struct {
+	fracs := []struct {
 		name  string
 		slots int
 	}{
@@ -207,28 +239,36 @@ func AblationMapCache(c Config) (*Table, error) {
 		{"1/2", totalVPNs / 2},
 		{"1/8", totalVPNs / 8},
 		{"1/32", totalVPNs / 32},
-	} {
+	}
+	rows := make([][]string, len(fracs))
+	err := c.parallel(len(fracs), func(i int) error {
+		frac := fracs[i]
 		slots := frac.slots
 		if frac.name != "all (DRAM-resident)" && slots < 1 {
 			slots = 1 // never degrade a fraction to "fully cached" (slots 0)
 		}
 		dev, err := c.newTimeSSD(func(cc *core.Config) { cc.FTL.MappingCacheSlots = slots })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := c.runTrace(dev, ablationWorkload, 0.5, c.Days)
 		if err != nil {
-			return nil, fmt.Errorf("slots=%d: %w", slots, err)
+			return fmt.Errorf("slots=%d: %w", slots, err)
 		}
 		hitRate := 1.0
 		if total := dev.MapStats.Hits + dev.MapStats.Misses; total > 0 {
 			hitRate = float64(dev.MapStats.Hits) / float64(total)
 		}
-		t.AddRow(frac.name,
+		rows[i] = []string{frac.name,
 			fmt.Sprintf("%.3f", run.stats.AvgResponse().Seconds()*1e3),
 			fmt.Sprintf("%.3f", hitRate),
-			fmt.Sprintf("%d", dev.MapStats.Writebacks))
+			fmt.Sprintf("%d", dev.MapStats.Writebacks)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the paper's board holds the whole AMT in its 1 GB DRAM; this sweep shows the cost structure when it cannot (DFTL-style demand caching)")
 	return t, nil

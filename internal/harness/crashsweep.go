@@ -50,16 +50,24 @@ func CrashSweep(c Config) (*Table, error) {
 		Title:  fmt.Sprintf("Crash sweep: %d seed(s) × %d power cut(s), image round trip + rebuild each", seeds, cuts),
 		Header: []string{"seed", "cuts", "writes", "versions-checked", "rollbacks", "status"},
 	}
-	for s := 0; s < seeds; s++ {
+	// Seeds are fully independent workloads: sweep them across the worker
+	// pool, one row slot per seed.
+	rows := make([][]string, seeds)
+	err := c.parallel(seeds, func(s int) error {
 		seed := c.Seed + int64(s)
 		res, err := crashRun(c, seed, cuts)
 		if err != nil {
-			return nil, fmt.Errorf("crashsweep: seed %d: %w", seed, err)
+			return fmt.Errorf("crashsweep: seed %d: %w", seed, err)
 		}
-		t.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", res.cuts),
+		rows[s] = []string{fmt.Sprintf("%d", seed), fmt.Sprintf("%d", res.cuts),
 			fmt.Sprintf("%d", res.writes), fmt.Sprintf("%d", res.versions),
-			fmt.Sprintf("%d", res.rollbacks), "ok")
+			fmt.Sprintf("%d", res.rollbacks), "ok"}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"equivalence: reads, full version history, VersionAt and rollback all match a shadow model of committed writes",
 		"the retention window restarts at the rebuild instant (core.Rebuild) — a crash can lengthen retention, never shorten it")

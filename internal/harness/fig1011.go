@@ -19,21 +19,41 @@ func Figure10(c Config) (*Table, error) {
 		Title:  "Figure 10: Ransomware data recovery time (virtual seconds)",
 		Header: []string{"family", "flashguard(s)", "timessd(s)", "timessd-extra", "verified"},
 	}
-	var sumOver, n float64
-	for _, fam := range ransom.Families {
+	// Each family's attack+recovery runs on a fresh stack per retention
+	// style — 2×len(Families) independent simulations for the worker pool.
+	type famRun struct {
+		fg, ts *ransom.RecoverStats
+	}
+	runs := make([]famRun, len(ransom.Families))
+	err := c.parallel(2*len(ransom.Families), func(i int) error {
+		fam := ransom.Families[i/2]
 		scaled := fam
 		scaled.Files = int(float64(fam.Files) * c.RansomScale)
 		if scaled.Files < 2 {
 			scaled.Files = 2
 		}
-		fg, err := c.runRansom(scaled, true)
+		flashguard := i%2 == 0
+		st, err := c.runRansom(scaled, flashguard)
 		if err != nil {
-			return nil, fmt.Errorf("%s flashguard: %w", fam.Name, err)
+			kind := "timessd"
+			if flashguard {
+				kind = "flashguard"
+			}
+			return fmt.Errorf("%s %s: %w", fam.Name, kind, err)
 		}
-		ts, err := c.runRansom(scaled, false)
-		if err != nil {
-			return nil, fmt.Errorf("%s timessd: %w", fam.Name, err)
+		if flashguard {
+			runs[i/2].fg = st
+		} else {
+			runs[i/2].ts = st
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumOver, n float64
+	for i, fam := range ransom.Families {
+		fg, ts := runs[i].fg, runs[i].ts
 		over := ts.RecoveryTime.Seconds()/fg.RecoveryTime.Seconds() - 1
 		sumOver += over
 		n++
@@ -104,14 +124,23 @@ func Figure11(c Config) (*Table, error) {
 		Title:  "Figure 11: Reversing OS files to previous versions (ms per file)",
 		Header: append([]string{"file"}, threadHeaders(c.Fig11Threads)...),
 	}
-	// One fresh run per thread count (reverting mutates state).
-	perThread := map[int]map[string]vclock.Duration{}
-	for _, threads := range c.Fig11Threads {
-		times, err := c.runFig11(threads)
+	// One fresh run per thread count (reverting mutates state); the runs
+	// are independent simulations, dispatched across the worker pool.
+	results := make([]map[string]vclock.Duration, len(c.Fig11Threads))
+	err := c.parallel(len(c.Fig11Threads), func(i int) error {
+		times, err := c.runFig11(c.Fig11Threads[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		perThread[threads] = times
+		results[i] = times
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perThread := map[int]map[string]vclock.Duration{}
+	for i, threads := range c.Fig11Threads {
+		perThread[threads] = results[i]
 	}
 	for _, name := range fig11Files {
 		row := []string{name}

@@ -20,39 +20,55 @@ type pairResult struct {
 }
 
 // runPairs replays every named workload on both device types at every
-// utilisation — the shared engine behind Figures 6 and 7.
+// utilisation — the shared engine behind Figures 6 and 7. The
+// (usage, workload) cells are independent simulations, dispatched across
+// the worker pool; each fills its own slot so the row order matches the
+// serial sweep exactly.
 func (c Config) runPairs() ([]pairResult, error) {
-	var out []pairResult
+	type pairJob struct {
+		usage float64
+		name  string
+	}
+	var jobs []pairJob
 	for _, usage := range c.Usages {
 		for _, name := range trace.AllNames() {
-			reg, err := c.newRegular()
-			if err != nil {
-				return nil, err
-			}
-			regRun, err := c.runTrace(reg, name, usage, c.Days)
-			if err != nil {
-				return nil, fmt.Errorf("regular: %w", err)
-			}
-			tsd, err := c.newTimeSSD(nil)
-			if err != nil {
-				return nil, err
-			}
-			tsdRun, err := c.runTrace(tsd, name, usage, c.Days)
-			if err != nil {
-				return nil, fmt.Errorf("timessd: %w", err)
-			}
-			out = append(out, pairResult{
-				name:        name,
-				usage:       usage,
-				respRegular: regRun.stats.AvgResponse().Seconds() * 1e3,
-				respTime:    tsdRun.stats.AvgResponse().Seconds() * 1e3,
-				p99Regular:  regRun.stats.Percentile(0.99).Seconds() * 1e3,
-				p99Time:     tsdRun.stats.Percentile(0.99).Seconds() * 1e3,
-				waRegular:   reg.WriteAmplification(),
-				waTime:      tsd.WriteAmplification(),
-				retention:   tsd.RetentionDuration(tsdRun.end).Hours() / 24,
-			})
+			jobs = append(jobs, pairJob{usage, name})
 		}
+	}
+	out := make([]pairResult, len(jobs))
+	err := c.parallel(len(jobs), func(i int) error {
+		usage, name := jobs[i].usage, jobs[i].name
+		reg, err := c.newRegular()
+		if err != nil {
+			return err
+		}
+		regRun, err := c.runTrace(reg, name, usage, c.Days)
+		if err != nil {
+			return fmt.Errorf("regular: %w", err)
+		}
+		tsd, err := c.newTimeSSD(nil)
+		if err != nil {
+			return err
+		}
+		tsdRun, err := c.runTrace(tsd, name, usage, c.Days)
+		if err != nil {
+			return fmt.Errorf("timessd: %w", err)
+		}
+		out[i] = pairResult{
+			name:        name,
+			usage:       usage,
+			respRegular: regRun.stats.AvgResponse().Seconds() * 1e3,
+			respTime:    tsdRun.stats.AvgResponse().Seconds() * 1e3,
+			p99Regular:  regRun.stats.Percentile(0.99).Seconds() * 1e3,
+			p99Time:     tsdRun.stats.Percentile(0.99).Seconds() * 1e3,
+			waRegular:   reg.WriteAmplification(),
+			waTime:      tsd.WriteAmplification(),
+			retention:   tsd.RetentionDuration(tsdRun.end).Hours() / 24,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -17,35 +17,55 @@ func Figure8(c Config) (*Table, error) {
 		Title:  "Figure 8: Data retention duration (days) vs trace length",
 		Header: []string{"class", "usage", "workload", "trace(days)", "retention(days)", "window-drops"},
 	}
-	type job struct {
+	type class struct {
 		class string
 		names []string
 		lens  []int
 	}
-	jobs := []job{
+	classes := []class{
 		{"MSR", trace.MSRNames, c.Fig8MSRLens},
 		{"FIU", trace.FIUNames, c.Fig8FIULens},
 	}
-	for _, j := range jobs {
+	// Flatten the sweep into one cell per (class, usage, workload, length):
+	// every cell is an independent simulation, dispatched across the worker
+	// pool with rows assembled in sweep order.
+	type cell struct {
+		class string
+		usage float64
+		name  string
+		days  int
+	}
+	var cells []cell
+	for _, cl := range classes {
 		for _, usage := range c.Usages {
-			for _, name := range j.names {
-				for _, days := range j.lens {
-					dev, err := c.newTimeSSD(nil)
-					if err != nil {
-						return nil, err
-					}
-					run, err := c.runTrace(dev, name, usage, days)
-					if err != nil {
-						return nil, fmt.Errorf("fig8 %s/%d: %w", name, days, err)
-					}
-					t.AddRow(j.class, fmt.Sprintf("%.0f%%", usage*100), name,
-						fmt.Sprintf("%d", days),
-						fmt.Sprintf("%.1f", dev.RetentionDuration(run.end).Hours()/24),
-						fmt.Sprintf("%d", dev.TimeStats().WindowDrops))
+			for _, name := range cl.names {
+				for _, days := range cl.lens {
+					cells = append(cells, cell{cl.class, usage, name, days})
 				}
 			}
 		}
 	}
+	rows := make([][]string, len(cells))
+	err := c.parallel(len(cells), func(i int) error {
+		j := cells[i]
+		dev, err := c.newTimeSSD(nil)
+		if err != nil {
+			return err
+		}
+		run, err := c.runTrace(dev, j.name, j.usage, j.days)
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%d: %w", j.name, j.days, err)
+		}
+		rows[i] = []string{j.class, fmt.Sprintf("%.0f%%", j.usage*100), j.name,
+			fmt.Sprintf("%d", j.days),
+			fmt.Sprintf("%.1f", dev.RetentionDuration(run.end).Hours()/24),
+			fmt.Sprintf("%d", dev.TimeStats().WindowDrops)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper: retention 3–56 days; longer at 50% usage than 80%, longer on idle FIU workloads than busy MSR ones")
 	return t, nil

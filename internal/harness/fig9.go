@@ -24,14 +24,18 @@ func Figure9IOZone(c Config) (*Table, error) {
 		Title:  "Figure 9a: IOZone normalised speedup over Ext4",
 		Header: []string{"phase", "Ext4", "F2FS", "TimeSSD"},
 	}
-	// phase -> stack -> MB/s
+	// phase -> stack -> MB/s. Each stack is an independent simulation: run
+	// them across the worker pool, each writing its own results slot, then
+	// assemble the shared map serially.
 	type phaseRates map[fsKind]float64
 	rates := map[string]phaseRates{}
 	order := []string{"SeqRead", "SeqWrite", "RandomRead", "RandomWrite"}
-	for _, k := range fig9aStacks {
+	results := make([]*apps.IOZoneResult, len(fig9aStacks))
+	err := c.parallel(len(fig9aStacks), func(i int) error {
+		k := fig9aStacks[i]
 		fs, _, err := c.newFSStack(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pagesPerFile := fsPageLimit(fs.Device().PageSize())
 		files := 8
@@ -43,8 +47,16 @@ func Figure9IOZone(c Config) (*Table, error) {
 			Seed:          c.Seed,
 		}, vclock.Time(vclock.Second))
 		if err != nil {
-			return nil, fmt.Errorf("iozone on %v: %w", k, err)
+			return fmt.Errorf("iozone on %v: %w", k, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range fig9aStacks {
+		res := results[i]
 		for name, r := range map[string]apps.Result{
 			"SeqRead": res.SeqRead, "SeqWrite": res.SeqWrite,
 			"RandomRead": res.RandRead, "RandomWrite": res.RandWrite,
@@ -82,37 +94,63 @@ func Figure9OLTP(c Config) (*Table, error) {
 	for _, name := range names {
 		tps[name] = map[fsKind]float64{}
 	}
+	// Every (stack, benchmark) combination builds its own file-system stack,
+	// so all twelve cells are independent simulations: dispatch them across
+	// the worker pool and merge into the shared map serially afterwards.
+	type cell struct {
+		stack fsKind
+		name  string
+	}
+	var cells []cell
 	for _, k := range fig9bStacks {
-		// PostMark.
+		for _, name := range names {
+			cells = append(cells, cell{k, name})
+		}
+	}
+	rates := make([]float64, len(cells))
+	err := c.parallel(len(cells), func(i int) error {
+		k := cells[i].stack
 		fs, _, err := c.newFSStack(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pm := apps.DefaultPostMark()
-		pm.Transactions = c.PostMarkTxns
-		pm.Seed = c.Seed
-		pmRes, _, err := apps.PostMark(fs, pm, vclock.Time(vclock.Second))
+		if cells[i].name == "PostMark" {
+			pm := apps.DefaultPostMark()
+			pm.Transactions = c.PostMarkTxns
+			pm.Seed = c.Seed
+			pmRes, _, err := apps.PostMark(fs, pm, vclock.Time(vclock.Second))
+			if err != nil {
+				return fmt.Errorf("postmark on %v: %w", k, err)
+			}
+			rates[i] = pmRes.OpsPerSec()
+			return nil
+		}
+		var kind apps.OLTPKind
+		switch cells[i].name {
+		case "TPCC":
+			kind = apps.TPCC
+		case "TPCB":
+			kind = apps.TPCB
+		default:
+			kind = apps.TATP
+		}
+		res, _, err := apps.OLTP(fs, apps.OLTPConfig{
+			Kind:         kind,
+			TablePages:   c.OLTPTablePages,
+			Transactions: c.OLTPTxns,
+			Seed:         c.Seed,
+		}, vclock.Time(vclock.Second))
 		if err != nil {
-			return nil, fmt.Errorf("postmark on %v: %w", k, err)
+			return fmt.Errorf("%v on %v: %w", kind, k, err)
 		}
-		tps["PostMark"][k] = pmRes.OpsPerSec()
-		// OLTP.
-		for _, kind := range []apps.OLTPKind{apps.TPCC, apps.TPCB, apps.TATP} {
-			fs, _, err := c.newFSStack(k)
-			if err != nil {
-				return nil, err
-			}
-			res, _, err := apps.OLTP(fs, apps.OLTPConfig{
-				Kind:         kind,
-				TablePages:   c.OLTPTablePages,
-				Transactions: c.OLTPTxns,
-				Seed:         c.Seed,
-			}, vclock.Time(vclock.Second))
-			if err != nil {
-				return nil, fmt.Errorf("%v on %v: %w", kind, k, err)
-			}
-			tps[kind.String()][k] = res.OpsPerSec()
-		}
+		rates[i] = res.OpsPerSec()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range cells {
+		tps[cl.name][cl.stack] = rates[i]
 	}
 	for _, name := range names {
 		base := tps[name][fsExt4Data]

@@ -8,7 +8,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"almanac/internal/core"
 	"almanac/internal/flash"
@@ -23,6 +25,15 @@ import (
 type Config struct {
 	Flash flash.Config
 	Seed  int64
+
+	// Workers bounds the host worker pool that dispatches an experiment's
+	// independent device configurations (`-j` on the almanac CLI): 0 means
+	// one worker per GOMAXPROCS core, 1 forces the serial order. Each unit
+	// of work builds its own devices and RNGs from the Config seed and
+	// writes one preallocated result slot, so the assembled tables are
+	// byte-identical at every worker count — parallelism changes host
+	// wall-clock only, never a simulated result.
+	Workers int
 
 	// MinRetention is TimeSSD's guaranteed retention lower bound. The paper
 	// defaults to three days on a 1 TB device; the bound is explicitly
@@ -171,6 +182,53 @@ func (t *Table) Render() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// parallel runs n independent jobs across the configured worker pool and
+// waits for all of them. Jobs must not share mutable state: each builds its
+// own devices/RNGs and writes only its own result slot (by index), so table
+// assembly afterwards is deterministic regardless of execution order. When
+// several jobs fail, the lowest-indexed error is returned — the one the
+// serial order would have hit first.
+func (c Config) parallel(n int, job func(i int) error) error {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newRegular builds the baseline device.

@@ -251,6 +251,38 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the determinism contract of the worker
+// pool: for every experiment, the rendered table at Workers=4 must be
+// byte-identical to the serial order (Workers=1). scaling and obs are
+// excluded — they ignore Workers by design and report host wall-clock
+// columns that differ between any two runs.
+func TestParallelMatchesSerial(t *testing.T) {
+	c := tiny()
+	c.CrashSeeds = 2 // enough seeds to exercise pooled dispatch
+	for _, name := range Names() {
+		if name == "scaling" || name == "obs" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial, par := c, c
+			serial.Workers = 1
+			par.Workers = 4
+			st, err := Run(name, serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			pt, err := Run(name, par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if s, p := st.Render(), pt.Render(); s != p {
+				t.Errorf("parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
 func TestNamesCoverExperiments(t *testing.T) {
 	if len(Names()) != len(experiments) {
 		t.Fatalf("Names() has %d entries, experiments map %d", len(Names()), len(experiments))

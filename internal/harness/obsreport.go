@@ -14,6 +14,10 @@ import (
 // deltas. Quantiles are read from the virtual-time histograms — the
 // latency the simulated device charged, not host CPU time; the wall
 // column reports the mean host-side cost of the same operations.
+//
+// The run is a single device with phases that must execute in order, so
+// Config.Workers does not apply; the wall column also wants an otherwise
+// idle host.
 func ObsReport(c Config) (*Table, error) {
 	dev, err := c.newTimeSSD(nil)
 	if err != nil {

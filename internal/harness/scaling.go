@@ -59,6 +59,11 @@ func (c Config) newArray(n int) (*array.Array, error) {
 // second — the device-bound number, host CPUs notwithstanding) and wall
 // (host-side execution time; scales with shards only when the host has
 // cores to run the workers on).
+//
+// This experiment ignores Config.Workers and runs its rows serially: each
+// row already spawns the array's own per-shard host workers, and the wall
+// column measures exactly that parallelism — overlapping rows would
+// oversubscribe the host and corrupt the measurement.
 func ArrayScaling(c Config) (*Table, error) {
 	tab := &Table{
 		Title:  "Array scaling — write-heavy trace, N TimeSSD shards",

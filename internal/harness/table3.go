@@ -19,14 +19,19 @@ func Table3(c Config) (*Table, error) {
 		Title:  "Table 3: Execution time of storage-state queries",
 		Header: []string{"workload", "TimeQuery(s)", "AddrQueryAll(ms)", "RollBack(ms)"},
 	}
-	for _, name := range trace.AllNames() {
+	// One independent device and query sequence per workload: dispatch
+	// across the worker pool, one row slot per workload.
+	names := trace.AllNames()
+	rows := make([][]string, len(names))
+	err := c.parallel(len(names), func(i int) error {
+		name := names[i]
 		dev, err := c.newTimeSSD(nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := c.runTrace(dev, name, 0.5, c.Days)
 		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", name, err)
+			return fmt.Errorf("table3 %s: %w", name, err)
 		}
 		kit := timekits.New(dev)
 		at := run.end.Add(vclock.Second)
@@ -34,7 +39,7 @@ func Table3(c Config) (*Table, error) {
 		// TimeQuery: storage state one day ago.
 		tq, err := kit.TimeQuery(at.Add(-vclock.Day), at)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		at = tq.Done.Add(vclock.Second)
 
@@ -46,21 +51,26 @@ func Table3(c Config) (*Table, error) {
 		lpa := pickLPA(lpas, c.Seed, dev.LogicalPages())
 		aq, err := kit.AddrQueryAll(lpa, 1, at)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		at = aq.Done.Add(vclock.Second)
 
 		// RollBack the same LPA to one day ago.
 		rb, err := kit.RollBack(lpa, 1, at.Add(-vclock.Day), at)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		t.AddRow(name,
+		rows[i] = []string{name,
 			fmt.Sprintf("%.2f", tq.Elapsed.Seconds()),
 			ms(aq.Elapsed),
-			ms(rb.Elapsed))
+			ms(rb.Elapsed)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper (1 TB device): TimeQuery 710–764 s, AddrQueryAll 0.3–6.6 ms, RollBack 1.2–7.6 ms",
 		fmt.Sprintf("this device: %d logical pages — TimeQuery scales with device size", logicalPagesOf(c)))

@@ -20,14 +20,17 @@ func AblationWear(c Config) (*Table, error) {
 		Title:  "Ablation: wear leveling effectiveness (hot/cold workload)",
 		Header: []string{"device", "wear-leveling", "min-erases", "max-erases", "spread"},
 	}
-	type row struct {
+	type variant struct {
 		device string
 		wl     bool
 	}
-	for _, r := range []row{
+	variants := []variant{
 		{"regular", true}, {"regular", false},
 		{"timessd", true}, {"timessd", false},
-	} {
+	}
+	rows := make([][]string, len(variants))
+	err := c.parallel(len(variants), func(i int) error {
+		r := variants[i]
 		var dev ftl.Device
 		var spreadOf func() (int, int)
 		p := ftl.WithFlash(c.Flash)
@@ -40,7 +43,7 @@ func AblationWear(c Config) (*Table, error) {
 		if r.device == "regular" {
 			d, err := ftl.NewRegular(p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			dev = d
 			spreadOf = d.Arr.WearSpread
@@ -52,18 +55,23 @@ func AblationWear(c Config) (*Table, error) {
 			cfg.MinRetention = 0
 			d, err := core.New(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			dev = d
 			spreadOf = d.Arr.WearSpread
 		}
 		if err := c.runWearWorkload(dev); err != nil {
-			return nil, fmt.Errorf("%s wl=%v: %w", r.device, r.wl, err)
+			return fmt.Errorf("%s wl=%v: %w", r.device, r.wl, err)
 		}
 		min, max := spreadOf()
-		t.AddRow(r.device, fmt.Sprintf("%v", r.wl),
-			fmt.Sprintf("%d", min), fmt.Sprintf("%d", max), fmt.Sprintf("%d", max-min))
+		rows[i] = []string{r.device, fmt.Sprintf("%v", r.wl),
+			fmt.Sprintf("%d", min), fmt.Sprintf("%d", max), fmt.Sprintf("%d", max-min)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"expected: with wear leveling on, every block participates (min-erases > 0) and the spread narrows on both devices — TimeSSD's delta-block exclusions do not break it (§3.8)")
 	return t, nil

@@ -24,10 +24,10 @@ type callTarget struct {
 // call matrix: raw flash program/erase/charge operations are reachable
 // only from the FTL and core layers, and TimeSSD mutation entry points are
 // reachable (among internal packages) only from the layers that legitimately
-// drive a device: the array, TimeKits, the wire protocol, the harness, and
-// the file-system simulator. Everything else must go through the ftl.Device
-// interface or the array, so that instrumentation and striping cannot be
-// bypassed.
+// drive a device: the array, TimeKits, the wire protocol, the harness, the
+// file-system simulator, and the benchmark bodies. Everything else must go
+// through the ftl.Device interface or the array, so that instrumentation
+// and striping cannot be bypassed.
 type Layering struct {
 	// Module is the module path prefix used to resolve caller scope. Empty
 	// selects "almanac".
@@ -42,7 +42,7 @@ func NewLayering() *Layering { return &Layering{} }
 func (r *Layering) ID() string { return "layering" }
 
 func (r *Layering) Doc() string {
-	return "raw flash ops only from ftl/core; core mutation entry points only from array/timekits/almaproto/harness/fsim"
+	return "raw flash ops only from ftl/core; core mutation entry points only from array/timekits/almaproto/harness/fsim/bench"
 }
 
 func (r *Layering) matrix() []callTarget {
@@ -74,6 +74,7 @@ func (r *Layering) matrix() []callTarget {
 				mod + "/internal/almaproto": true,
 				mod + "/internal/harness":   true,
 				mod + "/internal/fsim":      true,
+				mod + "/internal/bench":     true,
 			},
 			Boundary:     "TimeSSD mutation entry points",
 			InternalOnly: true,

@@ -17,16 +17,17 @@
 package lzf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 const (
 	hashLog   = 13
 	hashSize  = 1 << hashLog
 	maxOff    = 1 << 13 // 8192: max back-reference distance
-	maxRef    = maxOff
-	maxMatch  = 264 // 7 + 255 + 2
+	maxMatch  = 264     // 7 + 255 + 2
 	minMatch  = 3
 	maxLitRun = 32
 )
@@ -48,17 +49,20 @@ func hash3(a, b, c byte) uint32 {
 // Compress appends the LZF encoding of src to dst and returns the extended
 // slice. The output of Compress on incompressible data can be slightly
 // larger than the input (worst case: one control byte per 32 literals).
+//
+// The match table stores position+1 so its zero value means "empty": a fresh
+// stack table costs one vectorized 32 KiB clear instead of the explicit
+// fill-with--1 loop a sentinel of -1 would need. Compress stays a pure
+// function of src (no state outlives the call), which matters beyond
+// hygiene: compressed bytes land on the simulated flash, so match selection
+// influencing payload sizes must never depend on prior calls.
 func Compress(dst, src []byte) []byte {
 	if len(src) == 0 {
 		return dst
 	}
-	var table [hashSize]int32
-	for i := range table {
-		table[i] = -1
-	}
+	var table [hashSize]int32 // entry = position+1; 0 = empty
 
 	litStart := 0 // start of the pending literal run
-	i := 0
 	flushLits := func(end int) {
 		for litStart < end {
 			n := end - litStart
@@ -71,38 +75,84 @@ func Compress(dst, src []byte) []byte {
 		}
 	}
 
+	i := 0
 	for i+minMatch <= len(src) {
-		h := hash3(src[i], src[i+1], src[i+2])
-		cand := table[h]
-		table[h] = int32(i)
-		if cand >= 0 && i-int(cand) <= maxOff &&
-			src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2] {
-			// Extend the match.
-			mlen := minMatch
-			limit := len(src) - i
-			if limit > maxMatch {
-				limit = maxMatch
-			}
-			for mlen < limit && src[int(cand)+mlen] == src[i+mlen] {
-				mlen++
-			}
-			flushLits(i)
-			off := i - int(cand) - 1
-			l := mlen - 2
-			if l < 7 {
-				dst = append(dst, byte(l<<5)|byte(off>>8), byte(off))
+		var h uint32
+		var u uint32
+		wide := i+4 <= len(src)
+		if wide {
+			// One little-endian load serves both the hash (byte-reversed so
+			// it equals hash3(src[i], src[i+1], src[i+2])) and the 3-byte
+			// candidate comparison below.
+			u = binary.LittleEndian.Uint32(src[i:])
+			h = ((bits.ReverseBytes32(u) >> 8) * 2654435761) >> (32 - hashLog)
+		} else {
+			h = hash3(src[i], src[i+1], src[i+2])
+		}
+		e := table[h]
+		table[h] = int32(i + 1)
+		if e != 0 {
+			cand := int(e) - 1
+			var hit bool
+			if wide {
+				// cand < i and i+4 <= len(src), so the 4-byte load at cand
+				// is in bounds; the mask keeps only the minMatch prefix.
+				hit = i-cand <= maxOff && (binary.LittleEndian.Uint32(src[cand:])^u)&0xffffff == 0
 			} else {
-				dst = append(dst, byte(7<<5)|byte(off>>8), byte(l-7), byte(off))
+				hit = i-cand <= maxOff &&
+					src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2]
 			}
-			// Seed the table with positions inside the match so later data
-			// can reference it; a sparse seeding keeps compression fast.
-			end := i + mlen
-			for j := i + 1; j+minMatch <= end && j+minMatch <= len(src); j += 2 {
-				table[hash3(src[j], src[j+1], src[j+2])] = int32(j)
+			if hit {
+				// Extend eight bytes per step while both sides keep whole
+				// words in range; the XOR's trailing zero count pinpoints
+				// the first differing byte, so the byte-wise tail only runs
+				// when the word loop ran out of room rather than out of
+				// match.
+				mlen := minMatch
+				limit := len(src) - i
+				if limit > maxMatch {
+					limit = maxMatch
+				}
+				exact := false
+				// Short matches are common on low-locality content; one
+				// byte probe avoids paying two word loads to learn the
+				// match ends at minMatch.
+				if mlen < limit && src[cand+mlen] != src[i+mlen] {
+					exact = true
+				}
+				for !exact && mlen+8 <= limit {
+					x := binary.LittleEndian.Uint64(src[cand+mlen:]) ^ binary.LittleEndian.Uint64(src[i+mlen:])
+					if x != 0 {
+						mlen += bits.TrailingZeros64(x) >> 3
+						exact = true
+						break
+					}
+					mlen += 8
+				}
+				if !exact {
+					for mlen < limit && src[cand+mlen] == src[i+mlen] {
+						mlen++
+					}
+				}
+				flushLits(i)
+				off := i - cand - 1
+				l := mlen - 2
+				if l < 7 {
+					dst = append(dst, byte(l<<5)|byte(off>>8), byte(off))
+				} else {
+					dst = append(dst, byte(7<<5)|byte(off>>8), byte(l-7), byte(off))
+				}
+				// Seed the table with positions inside the match so later
+				// data can reference it; a sparse seeding keeps compression
+				// fast.
+				end := i + mlen
+				for j := i + 1; j+minMatch <= end && j+minMatch <= len(src); j += 2 {
+					table[hash3(src[j], src[j+1], src[j+2])] = int32(j + 1)
+				}
+				i = end
+				litStart = i
+				continue
 			}
-			i = end
-			litStart = i
-			continue
 		}
 		i++
 	}
@@ -115,6 +165,13 @@ func Compress(dst, src []byte) []byte {
 // is already in dst); pass the known original size, or a generous cap.
 func Decompress(dst, src []byte, maxOut int) ([]byte, error) {
 	base := len(dst)
+	// Grow once up front: every append below then extends in place, and the
+	// bulk copies never trigger a mid-copy reallocation.
+	if need := base + maxOut; cap(dst) < need {
+		grown := make([]byte, base, need)
+		copy(grown, dst)
+		dst = grown
+	}
 	i := 0
 	for i < len(src) {
 		ctrl := src[i]
@@ -152,10 +209,22 @@ func Decompress(dst, src []byte, maxOut int) ([]byte, error) {
 		if len(dst)-base+mlen > maxOut {
 			return dst, ErrTooLarge
 		}
-		// Byte-at-a-time copy: overlapping references are legal and rely on
-		// already-written output.
-		for k := 0; k < mlen; k++ {
-			dst = append(dst, dst[ref+k])
+		if ref+mlen <= len(dst) {
+			// Non-overlapping reference: one bulk copy.
+			dst = append(dst, dst[ref:ref+mlen]...)
+			continue
+		}
+		// Overlapping reference: the copy repeats the period-(off+1)
+		// pattern ending at the write position (run-length encoding uses
+		// off=0). Each bulk append doubles the materialised pattern, so a
+		// long run costs O(log n) memmoves instead of n byte stores.
+		for mlen > 0 {
+			chunk := len(dst) - ref
+			if chunk > mlen {
+				chunk = mlen
+			}
+			dst = append(dst, dst[ref:ref+chunk]...)
+			mlen -= chunk
 		}
 	}
 	return dst, nil

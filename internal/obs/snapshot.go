@@ -37,6 +37,13 @@ type Counters struct {
 	IdleCompressions  int64
 	EstimatorChecks   int64
 	EstimatorTrips    int64
+
+	// Host-side reference-cache telemetry (query-path decode cache). These
+	// describe simulator performance, not simulated-device behavior, and are
+	// deliberately excluded from the almaproto wire payload.
+	RefCacheHits      int64
+	RefCacheMisses    int64
+	RefCacheEvictions int64
 }
 
 // Add accumulates o into c.
@@ -61,6 +68,9 @@ func (c *Counters) Add(o Counters) {
 	c.IdleCompressions += o.IdleCompressions
 	c.EstimatorChecks += o.EstimatorChecks
 	c.EstimatorTrips += o.EstimatorTrips
+	c.RefCacheHits += o.RefCacheHits
+	c.RefCacheMisses += o.RefCacheMisses
+	c.RefCacheEvictions += o.RefCacheEvictions
 }
 
 // OpStats is the per-class statistics snapshot: sample count, error

@@ -213,7 +213,7 @@ func TestContentSimilarRatio(t *testing.T) {
 		lpa := uint64(i)
 		old := g.NextVersion(lpa)
 		ref := g.NextVersion(lpa)
-		_, payload := delta.Encode(old, ref)
+		_, payload := delta.Encode(nil, old, ref)
 		sum += float64(len(payload)) / 4096
 	}
 	avg := sum / float64(n)
@@ -254,7 +254,7 @@ func TestContentRandomIncompressible(t *testing.T) {
 	g := NewContentGen(4096, ContentRandom, 6)
 	old := g.NextVersion(1)
 	ref := g.NextVersion(1)
-	enc, _ := delta.Encode(old, ref)
+	enc, _ := delta.Encode(nil, old, ref)
 	if enc != delta.EncRaw {
 		t.Fatalf("random content delta-compressed (%v)", enc)
 	}
