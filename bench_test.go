@@ -36,3 +36,4 @@ func BenchmarkBloomChainContains(b *testing.B)   { bench.BloomChainContains(b) }
 func BenchmarkTimeSSDWrite(b *testing.B)         { bench.TimeSSDWrite(b) }
 func BenchmarkTimeSSDRead(b *testing.B)          { bench.TimeSSDRead(b) }
 func BenchmarkVersionsQuery(b *testing.B)        { bench.VersionsQuery(b) }
+func BenchmarkServiceOpsPerSec(b *testing.B)     { bench.ServiceOpsPerSec(b) }

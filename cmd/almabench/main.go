@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	almabench [-out BENCH_5.json] [-figures] [-runs 3] [-check BENCH_5.json] [-tolerance 0.30]
+//	almabench [-out BENCH_6.json] [-figures] [-runs 3] [-check BENCH_6.json] [-tolerance 0.30]
 //
 // By default only the micro-benchmarks run (CI smoke); -figures adds the
 // full figure/table regeneration benchmarks. Each benchmark is run -runs
@@ -44,7 +44,7 @@ type trajectory struct {
 const schema = "almanac-bench/v1"
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path (empty = stdout only)")
+	out := flag.String("out", "BENCH_6.json", "output JSON path (empty = stdout only)")
 	figures := flag.Bool("figures", false, "also run the figure/table regeneration benchmarks (slow)")
 	runs := flag.Int("runs", 3, "repetitions per benchmark; the fastest ns/op is kept")
 	check := flag.String("check", "", "baseline JSON to compare against; regression fails the run")

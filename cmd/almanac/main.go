@@ -7,7 +7,11 @@
 //
 // With no experiment arguments it runs everything. Experiment names are
 // fig6 fig7 fig8 fig9a fig9b fig10 fig11 table3 ablation-compress
-// ablation-group ablation-th.
+// ablation-group ablation-th ablation-bound ablation-mapcache
+// ablation-wear scaling obs crashsweep service (see -list). The service
+// experiment drives the multi-tenant volume layer with thousands of
+// concurrent pipelined clients and reports virtual- and wall-time
+// latency percentiles per operation class.
 package main
 
 import (

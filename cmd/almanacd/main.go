@@ -8,6 +8,7 @@
 //	almanacd -shards 4                       # 4-way striped array
 //	almanacd -metrics-addr 127.0.0.1:9522    # expvar/pprof sidecar listener
 //	almanacd -fault-plan plan.txt            # deterministic NAND fault injection
+//	almanacd -volumes "db:4096:s3cret:6h,scratch:1024"   # multi-tenant volume service
 //
 // Observability is on by default (-obs=false disables it): the device
 // records per-operation latency histograms in both virtual device time
@@ -21,10 +22,20 @@
 // different shards execute in parallel (see internal/array). The flag
 // geometry describes ONE shard; the exported capacity is N shards' worth.
 //
+// With -volumes the daemon serves the multi-tenant volume service
+// (internal/service) over protocol v4: each comma-separated
+// name:pages[:key[:retention]] spec pre-provisions one named volume
+// carved from the array's address space, gated by its tenant key and
+// per-volume retention window. v4 clients attach, pipeline batched
+// reads/writes/trims, and roll volumes back independently; pre-v4
+// clients still get the plain block surface. Volume mode always runs
+// the array layer, even with -shards 1.
+//
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
-// completes every in-flight frame, and only then saves the image(s) — one
-// file per shard (`img.shard0` … `img.shardN-1`; a single device keeps
-// the plain path).
+// completes every in-flight frame — including pipelined v4 requests
+// already admitted to a connection's window — and only then saves the
+// image(s): one file per shard (`img.shard0` … `img.shardN-1`; a single
+// device keeps the plain path).
 //
 // Clients use internal/almaproto.Dial; see examples/remote-timekits.
 package main
@@ -37,7 +48,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"almanac/internal/almaproto"
 	"almanac/internal/array"
@@ -45,6 +59,7 @@ import (
 	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
+	"almanac/internal/service"
 	"almanac/internal/vclock"
 )
 
@@ -61,6 +76,7 @@ func main() {
 	obsOn := flag.Bool("obs", true, "record per-operation latency histograms and trace events (internal/obs)")
 	faultPlan := flag.String("fault-plan", "", "fault plan file (internal/fault syntax); shard k runs the plan reseeded with seed+k")
 	metricsAddr := flag.String("metrics-addr", "", "optional HTTP address for the expvar/pprof metrics listener (e.g. 127.0.0.1:9522)")
+	volumes := flag.String("volumes", "", "serve the v4 volume service, pre-provisioning comma-separated name:pages[:key[:retention]] volumes")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -101,10 +117,33 @@ func main() {
 		}
 		devs[i] = dev
 	}
+	specs, err := parseVolumeSpecs(*volumes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var srv *almaproto.Server
 	var arr *array.Array
 	logical := devs[0].LogicalPages() * *shards
-	if *shards == 1 {
+	if specs != nil {
+		// Volume mode: the service carves extents out of the array's
+		// address space, so even one shard runs behind the array layer.
+		arr, err = array.Assemble(devs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := service.New(arr)
+		svc.SetObsEnabled(*obsOn)
+		for _, sp := range specs {
+			// Volumes are born at virtual time zero so any client
+			// timestamp falls inside their lifetime.
+			if _, err := svc.Create(sp.name, sp.key, sp.pages, sp.retention, 0); err != nil {
+				log.Fatalf("almanacd: -volumes %s: %v", sp.name, err)
+			}
+			fmt.Printf("almanacd: volume %q ready (%d pages, retention %v)\n", sp.name, sp.pages, sp.retention)
+		}
+		srv = almaproto.NewServiceServer(svc)
+	} else if *shards == 1 {
 		// A one-shard deployment keeps the single-device firmware model:
 		// one command interpreter, one device lock.
 		devs[0].Obs().SetEnabled(*obsOn)
@@ -258,6 +297,52 @@ func openDevice(cfg core.Config, image string) (*core.TimeSSD, error) {
 	rebuilt.MinRetention = cfg.MinRetention
 	fmt.Printf("almanacd: rebuilding device state from %s\n", image)
 	return core.Rebuild(arr, rebuilt)
+}
+
+// volSpec is one pre-provisioned volume from the -volumes flag.
+type volSpec struct {
+	name      string
+	key       string
+	pages     uint64
+	retention vclock.Duration
+}
+
+// parseVolumeSpecs parses the -volumes flag: comma-separated
+// name:pages[:key[:retention]] entries. An empty key means the volume is
+// open to any client; an omitted retention accepts the device default.
+// "" yields nil (volume mode off).
+func parseVolumeSpecs(s string) ([]volSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []volSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("almanacd: -volumes entry %q: want name:pages[:key[:retention]]", entry)
+		}
+		sp := volSpec{name: parts[0]}
+		if sp.name == "" {
+			return nil, fmt.Errorf("almanacd: -volumes entry %q: empty volume name", entry)
+		}
+		pages, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil || pages == 0 {
+			return nil, fmt.Errorf("almanacd: -volumes entry %q: bad page count %q", entry, parts[1])
+		}
+		sp.pages = pages
+		if len(parts) >= 3 {
+			sp.key = parts[2]
+		}
+		if len(parts) == 4 {
+			d, err := time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("almanacd: -volumes entry %q: bad retention %q: %v", entry, parts[3], err)
+			}
+			sp.retention = vclock.Duration(d)
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
 }
 
 func saveDevice(dev *core.TimeSSD, image string) error {

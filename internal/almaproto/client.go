@@ -15,11 +15,25 @@ import (
 
 // Client is the host-side driver: it issues protocol commands over a
 // connection and exposes the same shapes the in-process TimeKits API does.
-// A Client is safe for concurrent use; commands serialise on the wire.
+// A Client is safe for concurrent use. Against a pre-v4 server commands
+// serialise on the wire; once Identify negotiates v4 the connection
+// switches to the tagged transport and concurrent commands pipeline —
+// each call still blocks, but it no longer queues behind the others, and
+// the async Submit*/Wait surface (client_async.go) exposes the
+// pipelining directly.
 type Client struct {
-	mu      sync.Mutex
-	conn    io.ReadWriteCloser
-	version uint32 // negotiated protocol version; 0 until Identify runs
+	mu         sync.Mutex
+	conn       io.ReadWriteCloser
+	version    uint32 // negotiated protocol version; 0 until Identify runs
+	window     int    // server-advertised in-flight window (v4)
+	maxVersion uint32 // negotiation cap; 0 means CurrentVersion (tests lower it)
+
+	// Tagged (v4) transport state; see client_async.go.
+	pmu     sync.Mutex
+	tagged  bool
+	nextID  uint64
+	pend    map[uint64]chan taggedResp
+	readErr error
 }
 
 // Dial connects to an almanacd server.
@@ -37,8 +51,21 @@ func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
 // Close shuts the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request body and decodes the response status.
+// roundTrip sends one request body and decodes the response status. On a
+// tagged (v4) connection the request is submitted with a fresh ID and the
+// call waits for its completion, so every synchronous method transparently
+// rides the pipelined transport.
 func (c *Client) roundTrip(body []byte) (*dec, error) {
+	c.pmu.Lock()
+	tagged := c.tagged
+	c.pmu.Unlock()
+	if tagged {
+		p, err := c.submit(body)
+		if err != nil {
+			return nil, err
+		}
+		return p.wait()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeFrame(c.conn, body); err != nil {
@@ -67,9 +94,15 @@ func request(op Op) *enc {
 // negotiation revision reject the announcement as trailing request bytes;
 // Identify then falls back to the legacy bare request and records the
 // pre-negotiation wire level.
+//
+// When the agreed version is ≥ v4 the connection switches to the tagged
+// transport the moment Identify returns. Run the first Identify to
+// completion before issuing commands from other goroutines: a command
+// racing the negotiation could hit the wire in the old framing after the
+// server has already switched.
 func (c *Client) Identify() (Identity, error) {
 	e := request(OpIdentify)
-	e.u32(CurrentVersion)
+	e.u32(c.announceMax())
 	d, err := c.roundTrip(e.b)
 	legacy := false
 	if err != nil {
@@ -94,13 +127,30 @@ func (c *Client) Identify() (Identity, error) {
 	} else {
 		id.Version = VersionArray
 	}
+	if !legacy && d.pos < len(d.b) {
+		id.Window = int(d.u32())
+	}
 	if d.err != nil {
 		return Identity{}, d.err
 	}
 	c.mu.Lock()
 	c.version = uint32(id.Version)
+	c.window = id.Window
 	c.mu.Unlock()
+	if id.Version >= VersionService {
+		c.enableTagged()
+	}
 	return id, nil
+}
+
+// announceMax returns the highest version this client announces.
+func (c *Client) announceMax() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxVersion != 0 {
+		return c.maxVersion
+	}
+	return CurrentVersion
 }
 
 // negotiated returns the connection's protocol version, running Identify

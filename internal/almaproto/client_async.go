@@ -1,0 +1,580 @@
+package almaproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"almanac/internal/obs"
+	"almanac/internal/service"
+	"almanac/internal/vclock"
+)
+
+// Tagged (v4) client transport: submissions carry a client-chosen request
+// ID, a reader goroutine demuxes completions — which arrive in whatever
+// order the backend finishes them — to their submitters, and the typed
+// Submit*/Wait surface plus the Pipeline helper expose the pipelining to
+// callers. Synchronous methods keep working unchanged: roundTrip submits
+// and waits when the connection is tagged.
+
+// taggedResp is one demuxed completion: a positioned decoder on success,
+// the typed failure otherwise.
+type taggedResp struct {
+	d   *dec
+	err error
+}
+
+// rawPending is one in-flight tagged submission.
+type rawPending struct {
+	ch chan taggedResp
+}
+
+func (p *rawPending) wait() (*dec, error) {
+	r := <-p.ch
+	return r.d, r.err
+}
+
+// enableTagged flips the connection to the tagged transport (idempotent)
+// and starts the demux reader. Called by Identify once v4 is agreed.
+func (c *Client) enableTagged() {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.tagged {
+		return
+	}
+	c.tagged = true
+	c.nextID = 1
+	c.pend = make(map[uint64]chan taggedResp)
+	go c.demux()
+}
+
+// demux owns the read side of a tagged connection: it routes every
+// completion to its submitter by request ID and, on transport failure,
+// fails every outstanding submission with the same error.
+func (c *Client) demux() {
+	for {
+		body, err := readFrame(c.conn)
+		if err != nil {
+			c.failPending(err)
+			return
+		}
+		if len(body) < 9 { // u64 reqID + u8 status minimum
+			c.failPending(fmt.Errorf("almaproto: tagged completion of %d bytes: %w", len(body), ErrShortPayload))
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(body)
+		c.pmu.Lock()
+		ch := c.pend[reqID]
+		delete(c.pend, reqID)
+		c.pmu.Unlock()
+		if ch == nil {
+			continue // completion for an abandoned submission
+		}
+		d := &dec{b: body, pos: 8}
+		if status := d.u8(); status != StatusOK {
+			ch <- taggedResp{err: &RemoteError{Msg: string(d.bytes()), Code: status}}
+			continue
+		}
+		ch <- taggedResp{d: d}
+	}
+}
+
+func (c *Client) failPending(err error) {
+	c.pmu.Lock()
+	pend := c.pend
+	c.pend = make(map[uint64]chan taggedResp)
+	c.readErr = err
+	c.pmu.Unlock()
+	for _, ch := range pend {
+		ch <- taggedResp{err: err}
+	}
+}
+
+// submit sends one tagged request and returns the pending completion.
+func (c *Client) submit(body []byte) (*rawPending, error) {
+	c.pmu.Lock()
+	if !c.tagged {
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("almaproto: submit on an untagged connection")
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	reqID := c.nextID
+	c.nextID++
+	ch := make(chan taggedResp, 1)
+	c.pend[reqID] = ch
+	c.pmu.Unlock()
+
+	out := make([]byte, 0, 8+len(body))
+	out = binary.LittleEndian.AppendUint64(out, reqID)
+	out = append(out, body...)
+	c.mu.Lock()
+	err := writeFrame(c.conn, out)
+	c.mu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pend, reqID)
+		c.pmu.Unlock()
+		return nil, err
+	}
+	return &rawPending{ch: ch}, nil
+}
+
+// ensureTagged negotiates if needed and confirms the connection speaks
+// the tagged transport.
+func (c *Client) ensureTagged(op Op) error {
+	v, err := c.negotiated()
+	if err != nil {
+		return err
+	}
+	c.pmu.Lock()
+	on := c.tagged
+	c.pmu.Unlock()
+	if !on {
+		return fmt.Errorf("almaproto: %v requires protocol v%d, server negotiated v%d", op, VersionService, v)
+	}
+	return nil
+}
+
+// Window returns the server-advertised in-flight window (0 before a v4
+// Identify).
+func (c *Client) Window() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window
+}
+
+// ---- typed async submissions ----------------------------------------------
+
+// PendingRead is an in-flight read submission.
+type PendingRead struct{ p *rawPending }
+
+// SubmitRead pipelines a read of lpa; Wait collects the completion.
+func (c *Client) SubmitRead(lpa uint64, at vclock.Time) (*PendingRead, error) {
+	if err := c.ensureTagged(OpRead); err != nil {
+		return nil, err
+	}
+	e := request(OpRead)
+	e.u64(lpa)
+	e.time(at)
+	p, err := c.submit(e.b)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingRead{p: p}, nil
+}
+
+// Wait blocks until the read completes.
+func (r *PendingRead) Wait() ([]byte, vclock.Time, error) {
+	d, err := r.p.wait()
+	if err != nil {
+		return nil, 0, err
+	}
+	done := d.time()
+	data := d.bytes()
+	return data, done, d.err
+}
+
+// PendingWrite is an in-flight write submission.
+type PendingWrite struct{ p *rawPending }
+
+// SubmitWrite pipelines a write to lpa; Wait collects the completion.
+func (c *Client) SubmitWrite(lpa uint64, data []byte, at vclock.Time) (*PendingWrite, error) {
+	if err := c.ensureTagged(OpWrite); err != nil {
+		return nil, err
+	}
+	e := request(OpWrite)
+	e.u64(lpa)
+	e.time(at)
+	e.bytes(data)
+	p, err := c.submit(e.b)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingWrite{p: p}, nil
+}
+
+// Wait blocks until the write completes.
+func (w *PendingWrite) Wait() (vclock.Time, error) {
+	d, err := w.p.wait()
+	if err != nil {
+		return 0, err
+	}
+	done := d.time()
+	return done, d.err
+}
+
+// PendingTrim is an in-flight trim submission.
+type PendingTrim struct{ p *rawPending }
+
+// SubmitTrim pipelines a trim of lpa; Wait collects the completion.
+func (c *Client) SubmitTrim(lpa uint64, at vclock.Time) (*PendingTrim, error) {
+	if err := c.ensureTagged(OpTrim); err != nil {
+		return nil, err
+	}
+	e := request(OpTrim)
+	e.u64(lpa)
+	e.time(at)
+	p, err := c.submit(e.b)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingTrim{p: p}, nil
+}
+
+// Wait blocks until the trim completes.
+func (t *PendingTrim) Wait() (vclock.Time, error) {
+	d, err := t.p.wait()
+	if err != nil {
+		return 0, err
+	}
+	done := d.time()
+	return done, d.err
+}
+
+// PendingBatch is an in-flight multi-op batch submission.
+type PendingBatch struct {
+	p     *rawPending
+	kinds []service.OpKind
+}
+
+// SubmitBatch pipelines a multi-op batch against an attached volume.
+// Results are positional and per-op: one failing op surfaces as that
+// slot's typed error without failing the batch or the ops around it.
+func (c *Client) SubmitBatch(volID uint32, ops []service.BatchOp) (*PendingBatch, error) {
+	if err := c.ensureTagged(OpBatch); err != nil {
+		return nil, err
+	}
+	e := request(OpBatch)
+	e.u32(volID)
+	e.u32(uint32(len(ops)))
+	kinds := make([]service.OpKind, len(ops))
+	for i, op := range ops {
+		kinds[i] = op.Kind
+		e.u8(uint8(op.Kind))
+		e.u64(op.LPA)
+		e.time(op.At)
+		if op.Kind == service.KindWrite {
+			e.bytes(op.Data)
+		}
+	}
+	p, err := c.submit(e.b)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingBatch{p: p, kinds: kinds}, nil
+}
+
+// Wait blocks until every op of the batch has completed.
+func (b *PendingBatch) Wait() ([]service.BatchResult, error) {
+	d, err := b.p.wait()
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	if n != len(b.kinds) {
+		return nil, fmt.Errorf("almaproto: batch returned %d results for %d ops", n, len(b.kinds))
+	}
+	out := make([]service.BatchResult, n)
+	for i := 0; i < n; i++ {
+		status := d.u8()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if status != StatusOK {
+			out[i].Err = &RemoteError{Msg: string(d.bytes()), Code: status}
+			continue
+		}
+		out[i].Done = d.time()
+		if b.kinds[i] == service.KindRead {
+			out[i].Data = d.bytes()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// Batch submits a batch and waits for it.
+func (c *Client) Batch(volID uint32, ops []service.BatchOp) ([]service.BatchResult, error) {
+	p, err := c.SubmitBatch(volID, ops)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// ---- volume management -----------------------------------------------------
+
+// VolumeInfo is the wire description of one volume. WindowStart is only
+// populated by VolAttach (it depends on the attach time).
+type VolumeInfo struct {
+	ID          uint32
+	Name        string
+	Pages       uint64
+	Retention   vclock.Duration
+	CreatedAt   vclock.Time
+	WindowStart vclock.Time
+}
+
+// VolCreate creates a named volume of pages logical pages protected by
+// key, with a per-volume retention promise (0 accepts the device
+// default). at stamps the creation in virtual time.
+func (c *Client) VolCreate(name, key string, pages uint64, retention vclock.Duration, at vclock.Time) (VolumeInfo, error) {
+	if err := c.requireVersion(VersionService, OpVolCreate); err != nil {
+		return VolumeInfo{}, err
+	}
+	e := request(OpVolCreate)
+	e.bytes([]byte(name))
+	e.bytes([]byte(key))
+	e.u64(pages)
+	e.i64(int64(retention))
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return VolumeInfo{}, err
+	}
+	in := VolumeInfo{ID: d.u32(), Name: name, Pages: pages, Retention: retention, CreatedAt: at}
+	return in, d.err
+}
+
+// VolDelete authenticates and deletes a volume; the returned time is the
+// virtual completion of the extent scrub.
+func (c *Client) VolDelete(name, key string, at vclock.Time) (vclock.Time, error) {
+	if err := c.requireVersion(VersionService, OpVolDelete); err != nil {
+		return at, err
+	}
+	e := request(OpVolDelete)
+	e.bytes([]byte(name))
+	e.bytes([]byte(key))
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return at, err
+	}
+	done := d.time()
+	return done, d.err
+}
+
+// VolList describes every volume, in name order.
+func (c *Client) VolList() ([]VolumeInfo, error) {
+	if err := c.requireVersion(VersionService, OpVolList); err != nil {
+		return nil, err
+	}
+	d, err := c.roundTrip(request(OpVolList).b)
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		return nil, ErrShortPayload
+	}
+	out := make([]VolumeInfo, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		in := VolumeInfo{ID: d.u32(), Name: string(d.bytes()), Pages: d.u64()}
+		in.Retention = vclock.Duration(d.i64())
+		in.CreatedAt = d.time()
+		if d.err != nil {
+			return nil, d.err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// VolAttach authenticates against a named volume, binding its id to this
+// connection for Batch/VolRollBack/VolStats. at is the attach time used
+// to report the volume's current visible window start.
+func (c *Client) VolAttach(name, key string, at vclock.Time) (VolumeInfo, error) {
+	if err := c.requireVersion(VersionService, OpVolAttach); err != nil {
+		return VolumeInfo{}, err
+	}
+	e := request(OpVolAttach)
+	e.bytes([]byte(name))
+	e.bytes([]byte(key))
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return VolumeInfo{}, err
+	}
+	in := VolumeInfo{ID: d.u32(), Name: name, Pages: d.u64()}
+	in.Retention = vclock.Duration(d.i64())
+	in.CreatedAt = d.time()
+	in.WindowStart = d.time()
+	return in, d.err
+}
+
+// VolStats fetches the per-volume observability snapshot of an attached
+// volume.
+func (c *Client) VolStats(volID uint32) (obs.Snapshot, error) {
+	if err := c.requireVersion(VersionService, OpVolStats); err != nil {
+		return obs.Snapshot{}, err
+	}
+	e := request(OpVolStats)
+	e.u32(volID)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	s := decSnapshot(d)
+	return s, d.err
+}
+
+// VolRollBack reverts an attached volume to its state at time t. Other
+// volumes are untouched.
+func (c *Client) VolRollBack(volID uint32, t, at vclock.Time) (int, vclock.Time, error) {
+	if err := c.requireVersion(VersionService, OpVolRollBack); err != nil {
+		return 0, at, err
+	}
+	e := request(OpVolRollBack)
+	e.u32(volID)
+	e.time(t)
+	e.time(at)
+	d, err := c.roundTrip(e.b)
+	if err != nil {
+		return 0, at, err
+	}
+	done := d.time()
+	changed := int(d.u32())
+	return changed, done, d.err
+}
+
+// ---- pipeline --------------------------------------------------------------
+
+// Pipeline keeps a bounded number of submissions in flight on a tagged
+// connection: each Read/Write/Trim call submits immediately and blocks
+// only when the window is full, completions are collected by per-op
+// goroutines as they arrive (in any order), and Flush waits for the tail.
+// The first error is sticky: it fails the pipeline and every later call.
+// Read completion callbacks run on collector goroutines — they must be
+// safe to call concurrently. A Pipeline is safe for use from one
+// submitting goroutine.
+type Pipeline struct {
+	c     *Client
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPipeline builds a pipeline over the client's tagged connection.
+// window <= 0 uses the server-advertised in-flight window.
+func (c *Client) NewPipeline(window int) (*Pipeline, error) {
+	if err := c.ensureTagged(OpBatch); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = c.Window()
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Pipeline{c: c, slots: make(chan struct{}, window)}, nil
+}
+
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Err returns the pipeline's sticky error.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// acquire takes a window slot unless the pipeline already failed.
+func (p *Pipeline) acquire() error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	p.slots <- struct{}{}
+	return nil
+}
+
+// collect spawns the completion collector for one submission.
+func collect[T any](p *Pipeline, wait func() (T, error), fn func(T, error)) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		v, err := wait()
+		if err != nil {
+			p.fail(err)
+		}
+		if fn != nil {
+			fn(v, err)
+		}
+		<-p.slots
+	}()
+}
+
+// Write pipelines a write; completion errors surface through Flush.
+func (p *Pipeline) Write(lpa uint64, data []byte, at vclock.Time) error {
+	if err := p.acquire(); err != nil {
+		return err
+	}
+	w, err := p.c.SubmitWrite(lpa, data, at)
+	if err != nil {
+		<-p.slots
+		p.fail(err)
+		return err
+	}
+	collect(p, w.Wait, nil)
+	return nil
+}
+
+// ReadResult is one pipelined read completion.
+type ReadResult struct {
+	Data []byte
+	Done vclock.Time
+}
+
+// Read pipelines a read; fn (optional) receives the completion on a
+// collector goroutine.
+func (p *Pipeline) Read(lpa uint64, at vclock.Time, fn func(ReadResult, error)) error {
+	if err := p.acquire(); err != nil {
+		return err
+	}
+	r, err := p.c.SubmitRead(lpa, at)
+	if err != nil {
+		<-p.slots
+		p.fail(err)
+		return err
+	}
+	collect(p, func() (ReadResult, error) {
+		data, done, err := r.Wait()
+		return ReadResult{Data: data, Done: done}, err
+	}, fn)
+	return nil
+}
+
+// Trim pipelines a trim; completion errors surface through Flush.
+func (p *Pipeline) Trim(lpa uint64, at vclock.Time) error {
+	if err := p.acquire(); err != nil {
+		return err
+	}
+	t, err := p.c.SubmitTrim(lpa, at)
+	if err != nil {
+		<-p.slots
+		p.fail(err)
+		return err
+	}
+	collect(p, t.Wait, nil)
+	return nil
+}
+
+// Flush waits for every in-flight submission and returns the pipeline's
+// first error. The pipeline remains usable after a clean Flush.
+func (p *Pipeline) Flush() error {
+	p.wg.Wait()
+	return p.Err()
+}

@@ -36,6 +36,24 @@
 //	v1: OpIdentify … OpStats (single device)
 //	v2: + OpRollBackAll (array revision)
 //	v3: + version negotiation, OpMetrics, OpTrace (observability)
+//	v4: + tagged pipelined transport, volume opcodes, OpBatch (service)
+//
+// # Tagged transport (v4)
+//
+// A connection that negotiates v4 switches, starting with the first
+// frame after the Identify response, to tagged frames:
+//
+//	tagged request body  := u64 reqID, u8 opcode, payload…
+//	tagged response body := u64 reqID, u8 status, payload…
+//
+// Request IDs are chosen by the client and only echoed by the server, so
+// a client may pipeline many submissions and match completions as they
+// arrive — completions are unordered, exactly like an NVMe completion
+// queue. The server bounds concurrency with a per-connection in-flight
+// window (advertised in the Identify response): once the window is full
+// it stops reading further frames, which backpressures the submitter
+// through the transport. Pre-v4 connections keep the one-frame-at-a-time
+// request/response transport above, unchanged.
 package almaproto
 
 import (
@@ -47,6 +65,7 @@ import (
 	"almanac/internal/core"
 	"almanac/internal/fault"
 	"almanac/internal/obs"
+	"almanac/internal/service"
 	"almanac/internal/vclock"
 )
 
@@ -75,6 +94,16 @@ const (
 	// require a negotiated version ≥ VersionObs.
 	OpMetrics
 	OpTrace
+	// The v4 service surface (internal/service): named volumes and
+	// multi-op batches. All of these require a negotiated version ≥
+	// VersionService and a server built over a volume service.
+	OpVolCreate
+	OpVolDelete
+	OpVolList
+	OpVolAttach
+	OpVolStats
+	OpVolRollBack
+	OpBatch
 )
 
 // Protocol versions (see the package documentation for the revision
@@ -83,7 +112,8 @@ const (
 	Version1       = 1 // single-device command set, through OpStats
 	VersionArray   = 2 // + OpRollBackAll
 	VersionObs     = 3 // + Identify negotiation, OpMetrics, OpTrace
-	CurrentVersion = VersionObs
+	VersionService = 4 // + tagged pipelined transport, volumes, OpBatch
+	CurrentVersion = VersionService
 )
 
 func (o Op) String() string {
@@ -120,6 +150,20 @@ func (o Op) String() string {
 		return "Metrics"
 	case OpTrace:
 		return "Trace"
+	case OpVolCreate:
+		return "VolCreate"
+	case OpVolDelete:
+		return "VolDelete"
+	case OpVolList:
+		return "VolList"
+	case OpVolAttach:
+		return "VolAttach"
+	case OpVolStats:
+		return "VolStats"
+	case OpVolRollBack:
+		return "VolRollBack"
+	case OpBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -145,6 +189,9 @@ const (
 	StatusError         = 1 // generic device-side failure
 	StatusUncorrectable = 2 // fault.ErrUncorrectable: data lost to ECC
 	StatusPowerCut      = 3 // fault.ErrPowerCut: device dead mid-plan
+	StatusAuth          = 4 // service.ErrAuth: key rejected / volume not attached
+	StatusNoVolume      = 5 // service.ErrNoVolume: unknown or deleted volume
+	StatusBeforeWindow  = 6 // service.ErrBeforeWindow: travel precedes the volume window
 )
 
 // statusOf maps a device error to its wire status code.
@@ -154,6 +201,12 @@ func statusOf(err error) uint8 {
 		return StatusUncorrectable
 	case errors.Is(err, fault.ErrPowerCut):
 		return StatusPowerCut
+	case errors.Is(err, service.ErrAuth):
+		return StatusAuth
+	case errors.Is(err, service.ErrNoVolume):
+		return StatusNoVolume
+	case errors.Is(err, service.ErrBeforeWindow):
+		return StatusBeforeWindow
 	default:
 		return StatusError
 	}
@@ -176,6 +229,12 @@ func (e *RemoteError) Unwrap() error {
 		return fault.ErrUncorrectable
 	case StatusPowerCut:
 		return fault.ErrPowerCut
+	case StatusAuth:
+		return service.ErrAuth
+	case StatusNoVolume:
+		return service.ErrNoVolume
+	case StatusBeforeWindow:
+		return service.ErrBeforeWindow
 	default:
 		return nil
 	}
@@ -348,7 +407,10 @@ func decRecords(d *dec) []core.UpdateRecord {
 // backing topology (1 for a single device, N for an array); Channels is
 // the total flash channel count across all shards — the device-internal
 // parallelism TimeKits callers can exploit. Version is the negotiated
-// protocol version for the connection Identify ran on.
+// protocol version for the connection Identify ran on. Window is the
+// server's per-connection in-flight window for the tagged transport
+// (appended to the Identify response by v4 servers; 0 when the peer or
+// the negotiated version predates v4, meaning no pipelining).
 type Identity struct {
 	PageSize     int
 	LogicalPages int
@@ -356,6 +418,7 @@ type Identity struct {
 	Shards       int
 	WindowStart  vclock.Time
 	Version      int
+	Window       int
 }
 
 // DeviceStats is the counter snapshot OpStats returns. It predates the

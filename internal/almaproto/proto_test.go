@@ -249,7 +249,7 @@ func TestWireFuzz(t *testing.T) {
 		if resp[0] == 0 {
 			// A random body that parses cleanly must at least be a real
 			// opcode with fully-consumed payload; spot-check legality.
-			if n == 0 || Op(body[0]) > OpTrace || Op(body[0]) == 0 {
+			if n == 0 || Op(body[0]) > OpBatch || Op(body[0]) == 0 {
 				t.Fatalf("fuzz %d: garbage accepted: % x", i, body)
 			}
 		}

@@ -1,15 +1,18 @@
 package almaproto
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"almanac/internal/array"
 	"almanac/internal/core"
 	"almanac/internal/obs"
+	"almanac/internal/service"
 	"almanac/internal/timekits"
 	"almanac/internal/vclock"
 )
@@ -34,6 +37,13 @@ import (
 // (framing, decode, encode) is lock-free throughout.
 type Server struct {
 	backend Backend
+	svc     *service.Service // nil unless built by NewServiceServer
+
+	// window is the per-connection in-flight bound of the v4 tagged
+	// transport; maxVersion caps negotiation (CurrentVersion when zero —
+	// tests lower it to emulate older servers).
+	window     int
+	maxVersion uint32
 
 	lnMu     sync.Mutex
 	ln       net.Listener
@@ -42,15 +52,41 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// DefaultWindow is the per-connection in-flight window advertised to v4
+// clients: deep enough to keep every shard queue of a typical array busy,
+// shallow enough to bound per-connection server memory.
+const DefaultWindow = 128
+
 // NewServer wraps a single device behind the device-wide firmware lock.
 func NewServer(dev *core.TimeSSD) *Server {
-	return &Server{backend: newDeviceBackend(dev), conns: make(map[net.Conn]struct{})}
+	return &Server{backend: newDeviceBackend(dev), window: DefaultWindow, conns: make(map[net.Conn]struct{})}
 }
 
 // NewArrayServer wraps a sharded array; commands dispatch concurrently
 // onto per-shard workers.
 func NewArrayServer(arr *array.Array) *Server {
-	return &Server{backend: &arrayBackend{arr: arr}, conns: make(map[net.Conn]struct{})}
+	return &Server{backend: &arrayBackend{arr: arr}, window: DefaultWindow, conns: make(map[net.Conn]struct{})}
+}
+
+// NewServiceServer wraps a volume service: block I/O and array-wide
+// TimeKits route to the backing array, and the v4 volume opcodes
+// (create/delete/list/attach, per-volume rollback and stats, OpBatch)
+// route to svc.
+func NewServiceServer(svc *service.Service) *Server {
+	return &Server{
+		backend: &arrayBackend{arr: svc.Array()},
+		svc:     svc,
+		window:  DefaultWindow,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// serverMax returns the highest version this server negotiates.
+func (s *Server) serverMax() uint32 {
+	if s.maxVersion != 0 {
+		return s.maxVersion
+	}
+	return CurrentVersion
 }
 
 // Metrics returns the backend's observability snapshot through the same
@@ -127,12 +163,36 @@ func (s *Server) Shutdown() error {
 // connState is the per-connection protocol state. Until a client
 // identifies itself, it is assumed to speak the pre-negotiation wire
 // level (VersionArray): every opcode that predates v3 works, the v3
-// surface is gated.
+// surface is gated. The version is atomic because a v4 connection
+// dispatches concurrently, and any of those dispatches may be a
+// re-Identify racing the version gates of the others.
 type connState struct {
-	version uint32
+	version atomic.Uint32
+
+	// attached maps volume id → handle for volumes this connection
+	// authenticated against with OpVolAttach. Guarded by mu: attaches on
+	// a tagged connection run concurrently with batch lookups.
+	mu       sync.Mutex
+	attached map[uint32]*service.Volume
 }
 
-func newConnState() *connState { return &connState{version: VersionArray} }
+func newConnState() *connState {
+	st := &connState{attached: make(map[uint32]*service.Volume)}
+	st.version.Store(VersionArray)
+	return st
+}
+
+// volume resolves an attached volume id; the typed ErrAuth failure tells
+// clients authentication (not existence) is what's missing.
+func (st *connState) volume(id uint32) (*service.Volume, error) {
+	st.mu.Lock()
+	vol := st.attached[id]
+	st.mu.Unlock()
+	if vol == nil {
+		return nil, fmt.Errorf("%w: volume id %d not attached on this connection", service.ErrAuth, id)
+	}
+	return vol, nil
+}
 
 func (s *Server) serveConn(conn net.Conn) {
 	st := newConnState()
@@ -145,7 +205,63 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
+		// The Identify response that negotiated v4 is the last untagged
+		// frame; everything after it speaks the tagged transport.
+		if st.version.Load() >= VersionService {
+			s.serveTagged(conn, st)
+			return
+		}
 	}
+}
+
+// serveTagged is the v4 transport loop: read tagged frames, dispatch each
+// on its own goroutine, write completions as they finish — out of order.
+// The in-flight window is a semaphore acquired before reading on: when
+// the window is full the loop stops reading, and the transport's flow
+// control backpressures the submitter (a full NVMe submission queue).
+//
+// On read error (peer gone, or the Shutdown drain deadline) the loop
+// waits for every in-flight dispatch and writes its completion before
+// returning, so graceful shutdown drains pipelined requests instead of
+// dropping them — this is what lets almanacd save shard images knowing no
+// command is still mutating the device.
+func (s *Server) serveTagged(conn io.ReadWriter, st *connState) {
+	var (
+		wmu sync.Mutex // serialises completion writes
+		wg  sync.WaitGroup
+	)
+	window := s.window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	slots := make(chan struct{}, window)
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		if len(body) < 8 {
+			// A frame too short to carry a request ID means the peer lost
+			// the framing; there is no ID to complete, so hang up.
+			break
+		}
+		reqID := binary.LittleEndian.Uint64(body)
+		req := body[8:]
+		slots <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := s.dispatch(st, req)
+			out := make([]byte, 0, 8+len(resp))
+			out = binary.LittleEndian.AppendUint64(out, reqID)
+			out = append(out, resp...)
+			wmu.Lock()
+			_ = writeFrame(conn, out)
+			wmu.Unlock()
+			<-slots
+		}()
+	}
+	wg.Wait()
 }
 
 // dispatch executes one command body and builds the response body.
@@ -178,15 +294,15 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 				return fail(d.err)
 			}
 			v := clientMax
-			if v > CurrentVersion {
-				v = CurrentVersion
+			if max := s.serverMax(); v > max {
+				v = max
 			}
 			if v < Version1 {
 				v = Version1
 			}
-			st.version = v
+			st.version.Store(v)
 		} else {
-			st.version = VersionArray
+			st.version.Store(VersionArray)
 		}
 		id := b.Identify()
 		e.u32(uint32(id.PageSize))
@@ -194,7 +310,13 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 		e.u32(uint32(id.Channels))
 		e.u32(uint32(id.Shards))
 		e.time(id.WindowStart)
-		e.u32(st.version)
+		e.u32(st.version.Load())
+		// v4 appends the in-flight window of the tagged transport; older
+		// clients ignore trailing response bytes, so this is compatible,
+		// and a pre-v4 negotiation advertises no window at all.
+		if st.version.Load() >= VersionService {
+			e.u32(uint32(s.window))
+		}
 
 	case OpRead:
 		lpa, at := d.u64(), d.time()
@@ -346,9 +468,9 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 		e.i64(st.WindowDrops)
 
 	case OpMetrics:
-		if st.version < VersionObs {
+		if v := st.version.Load(); v < VersionObs {
 			return fail(fmt.Errorf("almaproto: %v requires protocol v%d, connection negotiated v%d",
-				op, VersionObs, st.version))
+				op, VersionObs, v))
 		}
 		encSnapshot(e, b.Metrics())
 
@@ -357,15 +479,152 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 		if d.err != nil {
 			return fail(d.err)
 		}
-		if st.version < VersionObs {
+		if v := st.version.Load(); v < VersionObs {
 			return fail(fmt.Errorf("almaproto: %v requires protocol v%d, connection negotiated v%d",
-				op, VersionObs, st.version))
+				op, VersionObs, v))
 		}
 		encEvents(e, b.Trace(max))
 
+	case OpVolCreate:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		name, key := string(d.bytes()), string(d.bytes())
+		pages, retention, at := d.u64(), vclock.Duration(d.i64()), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		vol, err := s.svc.Create(name, key, pages, retention, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.u32(vol.ID())
+
+	case OpVolDelete:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		name, key, at := string(d.bytes()), string(d.bytes()), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		done, err := s.svc.Delete(name, key, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(done)
+
+	case OpVolList:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		infos := s.svc.List()
+		e.u32(uint32(len(infos)))
+		for _, in := range infos {
+			e.u32(in.ID)
+			e.bytes([]byte(in.Name))
+			e.u64(in.Pages)
+			e.i64(int64(in.Retention))
+			e.time(in.CreatedAt)
+		}
+
+	case OpVolAttach:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		name, key, at := string(d.bytes()), string(d.bytes()), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		vol, err := s.svc.Attach(name, key)
+		if err != nil {
+			return fail(err)
+		}
+		st.mu.Lock()
+		st.attached[vol.ID()] = vol
+		st.mu.Unlock()
+		in := vol.Info()
+		e.u32(in.ID)
+		e.u64(in.Pages)
+		e.i64(int64(in.Retention))
+		e.time(in.CreatedAt)
+		e.time(vol.WindowStart(at))
+
+	case OpVolStats:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		id := d.u32()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		vol, err := st.volume(id)
+		if err != nil {
+			return fail(err)
+		}
+		encSnapshot(e, vol.Snapshot())
+
+	case OpVolRollBack:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		id, t, at := d.u32(), d.time(), d.time()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		vol, err := st.volume(id)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := vol.RollBack(t, at)
+		if err != nil {
+			return fail(err)
+		}
+		e.time(res.Done)
+		e.u32(uint32(res.Value))
+
+	case OpBatch:
+		if err := s.requireService(st, op); err != nil {
+			return fail(err)
+		}
+		id, n := d.u32(), int(d.u32())
+		if d.err != nil || n > maxBatchOps {
+			return fail(fmt.Errorf("almaproto: %v: bad op count %d", op, n))
+		}
+		ops := make([]service.BatchOp, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			bop := service.BatchOp{Kind: service.OpKind(d.u8()), LPA: d.u64(), At: d.time()}
+			if bop.Kind == service.KindWrite {
+				bop.Data = d.bytes()
+			}
+			if d.err != nil {
+				return fail(d.err)
+			}
+			ops = append(ops, bop)
+		}
+		vol, err := st.volume(id)
+		if err != nil {
+			return fail(err)
+		}
+		results := vol.Batch(ops)
+		e.u32(uint32(len(results)))
+		for i, r := range results {
+			if r.Err != nil {
+				// Typed per-op status: the op failed, the batch did not.
+				e.u8(statusOf(r.Err))
+				e.bytes([]byte(r.Err.Error()))
+				continue
+			}
+			e.u8(StatusOK)
+			e.time(r.Done)
+			if ops[i].Kind == service.KindRead {
+				e.bytes(r.Data)
+			}
+		}
+
 	default:
 		return fail(fmt.Errorf("almaproto: unknown opcode %d (connection negotiated protocol v%d)",
-			body[0], st.version))
+			body[0], st.version.Load()))
 	}
 	if d.pos != len(d.b) {
 		return fail(fmt.Errorf("almaproto: %v: %d trailing payload bytes", op, len(d.b)-d.pos))
@@ -373,7 +632,25 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 	return e.b
 }
 
-// ServeOne handles exactly one connection (for tests over net.Pipe).
+// maxBatchOps bounds one OpBatch frame; far above any sane batch, low
+// enough that a garbage count cannot balloon the decode allocation.
+const maxBatchOps = 1 << 16
+
+// requireService gates the v4 opcodes on the negotiated version and on
+// the server actually fronting a volume service.
+func (s *Server) requireService(st *connState, op Op) error {
+	if v := st.version.Load(); v < VersionService {
+		return fmt.Errorf("almaproto: %v requires protocol v%d, connection negotiated v%d",
+			op, VersionService, v)
+	}
+	if s.svc == nil {
+		return fmt.Errorf("almaproto: %v: server has no volume service", op)
+	}
+	return nil
+}
+
+// ServeOne handles exactly one connection (for tests over net.Pipe),
+// including the switch to the tagged transport when v4 is negotiated.
 func (s *Server) ServeOne(conn io.ReadWriter) {
 	st := newConnState()
 	for {
@@ -382,6 +659,10 @@ func (s *Server) ServeOne(conn io.ReadWriter) {
 			return
 		}
 		if err := writeFrame(conn, s.dispatch(st, body)); err != nil {
+			return
+		}
+		if st.version.Load() >= VersionService {
+			s.serveTagged(conn, st)
 			return
 		}
 	}

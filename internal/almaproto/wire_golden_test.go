@@ -70,8 +70,9 @@ func TestGoldenWire(t *testing.T) {
 		return e
 	}
 
-	// Identify, announcing v3; the response carries geometry plus the
-	// agreed version appended at the end.
+	// Identify, announcing the current version; the response carries
+	// geometry plus the agreed version and — since v4 — the server's
+	// in-flight window appended at the end.
 	want := okResp()
 	want.u32(uint32(twin.PageSize()))
 	want.u64(uint64(twin.LogicalPages()))
@@ -79,6 +80,7 @@ func TestGoldenWire(t *testing.T) {
 	want.u32(1)
 	want.time(twin.RetentionWindowStart())
 	want.u32(CurrentVersion)
+	want.u32(DefaultWindow)
 	step("Identify", raw{}.u8(uint8(OpIdentify)).u32(CurrentVersion), want)
 
 	// Two versions of LPA 5, then a write+trim of LPA 6.
@@ -322,8 +324,8 @@ func TestLegacyIdentifyPinsArrayLevel(t *testing.T) {
 	if resp[0] != 0 {
 		t.Fatalf("bare Identify rejected: % x", resp)
 	}
-	if st.version != VersionArray {
-		t.Fatalf("bare Identify negotiated v%d, want v%d", st.version, VersionArray)
+	if v := st.version.Load(); v != VersionArray {
+		t.Fatalf("bare Identify negotiated v%d, want v%d", v, VersionArray)
 	}
 	// The appended version field says v2; a legacy client never reads it.
 	d := &dec{b: resp, pos: 1}

@@ -89,6 +89,21 @@ type Cmd struct {
 // Wait blocks until the shard worker has executed the command.
 func (c *Cmd) Wait() { <-c.done }
 
+// ReadCmd, WriteCmd and TrimCmd build queue commands for batched
+// submission. Callers that hold many independent operations (the service
+// layer's OpBatch, pipelined protocol servers) submit every command
+// before waiting on any, so commands landing on different shards execute
+// concurrently instead of serialising through the synchronous wrappers.
+func ReadCmd(lpa uint64, at vclock.Time) *Cmd { return &Cmd{Kind: opRead, LPA: lpa, At: at} }
+
+// WriteCmd builds a queued write of data to global LPA lpa.
+func WriteCmd(lpa uint64, data []byte, at vclock.Time) *Cmd {
+	return &Cmd{Kind: opWrite, LPA: lpa, Data: data, At: at}
+}
+
+// TrimCmd builds a queued trim of global LPA lpa.
+func TrimCmd(lpa uint64, at vclock.Time) *Cmd { return &Cmd{Kind: opTrim, LPA: lpa, At: at} }
+
 // Snapshot is the lock-free per-shard state view republished by the worker
 // after every command (see StatsView): the retention-window header plus
 // the canonical counter surface. Histograms are not part of the published
@@ -417,6 +432,18 @@ func (a *Array) SetFaultPlan(p *fault.Plan) error {
 	}
 	return a.fanOut(0, func(i int, dev *core.TimeSSD, _ *timekits.Kit) {
 		dev.SetFaults(injs[i])
+	})
+}
+
+// SetMinRetention replaces the guaranteed retention lower bound on every
+// shard. The service layer calls this with the maximum over per-volume
+// retention promises (plus the operator's configured floor), so the
+// array-wide window always covers the strictest volume. The change
+// travels through the shard workers like any other command and therefore
+// never races in-flight I/O.
+func (a *Array) SetMinRetention(d vclock.Duration) error {
+	return a.fanOut(0, func(_ int, dev *core.TimeSSD, _ *timekits.Kit) {
+		dev.SetMinRetention(d)
 	})
 }
 

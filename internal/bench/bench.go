@@ -26,6 +26,7 @@ func Micro() []Spec {
 		{"TimeSSDWrite", TimeSSDWrite},
 		{"TimeSSDRead", TimeSSDRead},
 		{"VersionsQuery", VersionsQuery},
+		{"ServiceOpsPerSec", ServiceOpsPerSec},
 	}
 }
 

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"net"
+	"testing"
+
+	"almanac/internal/almaproto"
+	"almanac/internal/array"
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/service"
+	"almanac/internal/vclock"
+)
+
+// ServiceOpsPerSec measures end-to-end throughput of the v4 stack: page
+// writes flow from a pipelined client through the tagged transport over
+// an in-memory pipe, into the volume service, and onto a 4-shard array's
+// worker queues. Ops ride multi-op batch frames with several batches in
+// flight, so the number reflects the pipelined path almanacd serves — not
+// a request/response ping-pong.
+func ServiceOpsPerSec(b *testing.B) {
+	fc := flash.DefaultConfig()
+	fc.BlocksPerPlane = 128
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0
+	arr, err := array.New(array.Config{Shards: 4, Shard: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer arr.Close()
+	svc := service.New(arr)
+	srv := almaproto.NewServiceServer(svc)
+	cliEnd, srvEnd := net.Pipe()
+	defer cliEnd.Close()
+	defer srvEnd.Close()
+	go srv.ServeOne(srvEnd)
+	c := almaproto.NewClient(cliEnd)
+	defer c.Close()
+
+	const volPages = 2048
+	t0 := vclock.Time(vclock.Hour)
+	if _, err := c.VolCreate("bench", "key", volPages, 0, t0); err != nil {
+		b.Fatal(err)
+	}
+	info, err := c.VolAttach("bench", "key", t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const (
+		batchOps = 16 // ops per batch frame
+		inflight = 8  // batch frames kept in flight
+	)
+	data := benchPage(1, arr.PageSize())
+	ops := make([]service.BatchOp, batchOps)
+	var pending []*almaproto.PendingBatch
+	drainOne := func() {
+		results, err := pending[0].Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		pending = pending[1:]
+	}
+
+	at := t0.Add(vclock.Second)
+	seq := uint64(0)
+	b.SetBytes(int64(arr.PageSize()))
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := batchOps
+		if rem := b.N - n; k > rem {
+			k = rem
+		}
+		for i := 0; i < k; i++ {
+			ops[i] = service.BatchOp{Kind: service.KindWrite, LPA: seq % volPages, Data: data, At: at}
+			seq++
+			at = at.Add(vclock.Millisecond)
+		}
+		pb, err := c.SubmitBatch(info.ID, ops[:k])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending = append(pending, pb)
+		if len(pending) >= inflight {
+			drainOne()
+		}
+		n += k
+	}
+	for len(pending) > 0 {
+		drainOne()
+	}
+}

@@ -312,6 +312,21 @@ func (t *TimeSSD) newSegment() *segment {
 	return &segment{buf: delta.NewBuffer(t.cfg.FTL.Flash.PageSize), activeBlk: -1}
 }
 
+// SetMinRetention replaces the guaranteed retention lower bound at run
+// time; negative values clamp to zero. The service layer raises the bound
+// to cover the strictest per-volume retention promise (a window can only
+// be kept, not recovered, so the device-wide bound must dominate every
+// volume's). Raising the bound never drops history: it only stops future
+// shortenWindow passes earlier. Like every other mutator this must run on
+// the goroutine that owns the device — array shards apply it through the
+// worker queue (array.SetMinRetention).
+func (t *TimeSSD) SetMinRetention(d vclock.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.cfg.MinRetention = d
+}
+
 // Config returns the instance configuration.
 func (t *TimeSSD) Config() Config { return t.cfg }
 

@@ -293,13 +293,14 @@ var experiments = map[string]func(Config) (*Table, error){
 	"scaling":           ArrayScaling,
 	"obs":               ObsReport,
 	"crashsweep":        CrashSweep,
+	"service":           ServiceFleet,
 }
 
 // Names returns the experiment identifiers in run order.
 func Names() []string {
 	return []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "table3",
 		"ablation-compress", "ablation-group", "ablation-th", "ablation-bound", "ablation-mapcache", "ablation-wear",
-		"scaling", "obs", "crashsweep"}
+		"scaling", "obs", "crashsweep", "service"}
 }
 
 // Run executes one named experiment. fig6/fig7 share their sweep when run

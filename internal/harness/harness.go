@@ -63,6 +63,13 @@ type Config struct {
 	// Crash sweep (crashsweep experiment): power-cut/recovery fuzzing.
 	CrashSeeds int // independent workload seeds swept
 	CrashCuts  int // power cuts injected per seed
+
+	// Service fleet (service experiment): concurrent tenants on the
+	// multi-volume service.
+	ServiceClients int // concurrent simulated clients (goroutines)
+	ServiceOps     int // pages each client writes/reads per generation
+	ServiceShards  int // array shards under the service
+	ServiceVolumes int // volumes the clients are partitioned across
 }
 
 // Quick returns a configuration sized for tests and benchmarks.
@@ -95,6 +102,10 @@ func Quick() Config {
 		Fig11Threads:   []int{1, 2, 4},
 		CrashSeeds:     8,
 		CrashCuts:      2,
+		ServiceClients: 2048,
+		ServiceOps:     4,
+		ServiceShards:  4,
+		ServiceVolumes: 8,
 	}
 }
 
@@ -130,6 +141,10 @@ func Standard() Config {
 		Fig11Threads:   []int{1, 2, 4},
 		CrashSeeds:     32,
 		CrashCuts:      3,
+		ServiceClients: 4096,
+		ServiceOps:     8,
+		ServiceShards:  8,
+		ServiceVolumes: 16,
 	}
 }
 

@@ -245,6 +245,83 @@ func TestObsReport(t *testing.T) {
 	}
 }
 
+func TestServiceFleetShape(t *testing.T) {
+	tab, err := Run("service", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	ops := map[string]bool{}
+	for _, row := range tab.Rows {
+		phases[row[0]] = true
+		ops[row[1]] = true
+	}
+	for _, p := range []string{"load", "churn", "rollback", "verify"} {
+		if !phases[p] {
+			t.Fatalf("no rows for phase %q", p)
+		}
+	}
+	for _, op := range []string{"vol-read", "vol-write", "vol-batch", "vol-rollback"} {
+		if !ops[op] {
+			t.Fatalf("no rows for class %q (have %v)", op, ops)
+		}
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "verification failures 0") {
+		t.Fatalf("fleet reported failures:\n%s", joined)
+	}
+	if !strings.Contains(joined, "identical before/after: true") {
+		t.Fatalf("rollback isolation not proven:\n%s", joined)
+	}
+	if !strings.Contains(joined, "clients=2048") {
+		t.Fatalf("fleet below the 2048-client bar:\n%s", joined)
+	}
+	// Every row carries positive counts and zero errors.
+	for i, row := range tab.Rows {
+		if cell(t, tab, i, 2) <= 0 {
+			t.Fatalf("row %v: zero count", row)
+		}
+		if cell(t, tab, i, 3) != 0 {
+			t.Fatalf("row %v: errors", row)
+		}
+	}
+}
+
+// TestServiceFleetDeterministic runs the fleet twice with the same seed
+// and compares every op-level outcome: the digest and isolation notes,
+// and the (phase, op, count, errors) columns. Latency columns are
+// scheduling-dependent and deliberately excluded.
+func TestServiceFleetDeterministic(t *testing.T) {
+	c := tiny()
+	c.ServiceClients = 256 // smaller fleet: this test runs the experiment twice
+	c.ServiceVolumes = 4
+	outcomes := func(tab *Table) string {
+		var b strings.Builder
+		for _, row := range tab.Rows {
+			b.WriteString(strings.Join(row[:4], " "))
+			b.WriteByte('\n')
+		}
+		for _, n := range tab.Notes {
+			if !strings.Contains(n, "wall") { // the wall-column disclaimer is static too, but be explicit
+				b.WriteString(n)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	a, err := Run("service", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("service", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oa, ob := outcomes(a), outcomes(b); oa != ob {
+		t.Errorf("op-level outcomes differ between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", oa, ob)
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	if _, err := Run("fig99", tiny()); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -253,14 +330,15 @@ func TestRunUnknown(t *testing.T) {
 
 // TestParallelMatchesSerial is the determinism contract of the worker
 // pool: for every experiment, the rendered table at Workers=4 must be
-// byte-identical to the serial order (Workers=1). scaling and obs are
-// excluded — they ignore Workers by design and report host wall-clock
-// columns that differ between any two runs.
+// byte-identical to the serial order (Workers=1). scaling, obs and
+// service are excluded — they ignore Workers by design and report host
+// wall-clock columns that differ between any two runs (service has its
+// own determinism test over the outcome digest).
 func TestParallelMatchesSerial(t *testing.T) {
 	c := tiny()
 	c.CrashSeeds = 2 // enough seeds to exercise pooled dispatch
 	for _, name := range Names() {
-		if name == "scaling" || name == "obs" {
+		if name == "scaling" || name == "obs" || name == "service" {
 			continue
 		}
 		name := name

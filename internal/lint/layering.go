@@ -27,7 +27,10 @@ type callTarget struct {
 // drive a device: the array, TimeKits, the wire protocol, the harness, the
 // file-system simulator, and the benchmark bodies. Everything else must go
 // through the ftl.Device interface or the array, so that instrumentation
-// and striping cannot be bypassed.
+// and striping cannot be bypassed. The multi-tenant volume layer adds two
+// more boundaries: tenant mutation and lifecycle calls enter only through
+// the wire protocol, harness, or bench, and the array-wide retention bound
+// reaches member devices only through the array's fan-out.
 type Layering struct {
 	// Module is the module path prefix used to resolve caller scope. Empty
 	// selects "almanac".
@@ -42,7 +45,7 @@ func NewLayering() *Layering { return &Layering{} }
 func (r *Layering) ID() string { return "layering" }
 
 func (r *Layering) Doc() string {
-	return "raw flash ops only from ftl/core; core mutation entry points only from array/timekits/almaproto/harness/fsim/bench"
+	return "raw flash ops only from ftl/core; core mutation entry points only from array/timekits/almaproto/harness/fsim/bench; volume mutation and lifecycle only from almaproto/harness/bench"
 }
 
 func (r *Layering) matrix() []callTarget {
@@ -77,6 +80,46 @@ func (r *Layering) matrix() []callTarget {
 				mod + "/internal/bench":     true,
 			},
 			Boundary:     "TimeSSD mutation entry points",
+			InternalOnly: true,
+		},
+		{
+			// The array-wide retention bound is derived from the volume
+			// set; only the array's fan-out may push it down to member
+			// devices, so the service can never touch core directly.
+			PkgPath: mod + "/internal/core",
+			Type:    "TimeSSD",
+			Methods: map[string]bool{"SetMinRetention": true},
+			Allowed: map[string]bool{
+				mod + "/internal/array": true,
+			},
+			Boundary:     "retention-bound fan-out (array only)",
+			InternalOnly: true,
+		},
+		{
+			// Tenant I/O must enter through a checked volume handle: the
+			// wire protocol, the harness fleet, and the benchmark bodies.
+			// Anything else would bypass extent bounds and window checks.
+			PkgPath: mod + "/internal/service",
+			Type:    "Volume",
+			Methods: map[string]bool{"Write": true, "Trim": true, "Batch": true, "RollBack": true},
+			Allowed: map[string]bool{
+				mod + "/internal/almaproto": true,
+				mod + "/internal/harness":   true,
+				mod + "/internal/bench":     true,
+			},
+			Boundary:     "volume tenant mutation entry points",
+			InternalOnly: true,
+		},
+		{
+			PkgPath: mod + "/internal/service",
+			Type:    "Service",
+			Methods: map[string]bool{"Create": true, "Delete": true},
+			Allowed: map[string]bool{
+				mod + "/internal/almaproto": true,
+				mod + "/internal/harness":   true,
+				mod + "/internal/bench":     true,
+			},
+			Boundary:     "volume lifecycle entry points",
 			InternalOnly: true,
 		},
 	}

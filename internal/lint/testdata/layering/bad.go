@@ -6,6 +6,7 @@ package layeringbad
 import (
 	"almanac/internal/core"
 	"almanac/internal/flash"
+	"almanac/internal/service"
 	"almanac/internal/vclock"
 )
 
@@ -32,9 +33,34 @@ func DirectWrite(dev *core.TimeSSD, at vclock.Time) error {
 	return err
 }
 
+// DirectRetention pushes a retention bound straight at a member device:
+// only the array's fan-out may do that.
+func DirectRetention(dev *core.TimeSSD) {
+	dev.SetMinRetention(vclock.Hour) // want layering
+}
+
+// TenantBypass mutates a volume and its lifecycle from outside the wire
+// protocol / harness / bench layer set.
+func TenantBypass(svc *service.Service, v *service.Volume, at vclock.Time) error {
+	if _, err := v.Write(0, []byte("x"), at); err != nil { // want layering
+		return err
+	}
+	if _, err := v.RollBack(at.Add(-vclock.Minute), at); err != nil { // want layering
+		return err
+	}
+	v.Batch([]service.BatchOp{{Kind: service.KindTrim, LPA: 0, At: at}}) // want layering
+	if _, err := svc.Create("rogue", "", 1, 0, at); err != nil {         // want layering
+		return err
+	}
+	_, err := svc.Delete("rogue", "", at) // want layering
+	return err
+}
+
 // ReadsAreFine reads through the public query surface, which any layer may
 // use.
-func ReadsAreFine(arr *flash.Array, dev *core.TimeSSD, at vclock.Time) {
+func ReadsAreFine(arr *flash.Array, dev *core.TimeSSD, v *service.Volume, at vclock.Time) {
 	_, _, _ = arr.PeekPage(0)
 	_, _, _ = dev.Read(0, at)
+	_, _, _ = v.Read(0, at)
+	_ = v.WindowStart(at)
 }

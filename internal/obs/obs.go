@@ -49,6 +49,17 @@ const (
 	FaultProgramFail
 	FaultEraseFail
 	FaultPowerCut
+	// Volume classes are the per-tenant view of host traffic recorded by
+	// the service layer (internal/service): the same I/O the Host* classes
+	// count device-wide, re-attributed to the volume that issued it, plus
+	// the service-only batch and per-volume rollback operations. Appended
+	// after the fault classes; the wire format keys classes by name, so
+	// older peers simply ignore them.
+	VolRead
+	VolWrite
+	VolTrim
+	VolBatch
+	VolRollback
 	NumClasses
 )
 
@@ -82,6 +93,16 @@ func (c Class) String() string {
 		return "fault-erase-fail"
 	case FaultPowerCut:
 		return "fault-power-cut"
+	case VolRead:
+		return "vol-read"
+	case VolWrite:
+		return "vol-write"
+	case VolTrim:
+		return "vol-trim"
+	case VolBatch:
+		return "vol-batch"
+	case VolRollback:
+		return "vol-rollback"
 	default:
 		return "class-unknown"
 	}
