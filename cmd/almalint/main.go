@@ -1,12 +1,19 @@
 // Command almalint runs Almanac's domain-aware static analyzer over the
 // module: wall-clock bans in simulation packages, unseeded randomness,
-// firmware-layer boundaries, lock discipline, dropped errors, and
-// map-ordering determinism hazards. See internal/lint and DESIGN.md
-// ("Static analysis & invariants").
+// firmware-layer boundaries, dropped errors, map-ordering determinism
+// hazards — plus the interprocedural deep rules (lockorder, walltaint,
+// atomicmix) computed over the whole-module flow graph. See internal/lint
+// and DESIGN.md ("Static analysis & invariants").
 //
 // Usage:
 //
-//	almalint [-json] [-rules id,id,...] [-list] [./... | dir ...]
+//	almalint [-json] [-sarif file] [-graph call|lock] [-rules id,...]
+//	         [-cache-dir dir] [-nocache] [-list] [./... | dir ...]
+//
+// Whole-module runs (the default ./... form) use a per-package summary
+// cache keyed by content hash, so warm runs skip parsing and
+// type-checking of unchanged packages. Explicit directory arguments
+// analyze just those packages, uncached.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -20,22 +27,31 @@ import (
 	"strings"
 
 	"almanac/internal/lint"
+	"almanac/internal/lint/flow"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	graph := flag.String("graph", "", "emit a Graphviz graph to stdout instead of findings: call or lock")
 	ruleList := flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	cacheDir := flag.String("cache-dir", "", "summary cache directory (default: <user cache>/almalint)")
+	noCache := flag.Bool("nocache", false, "disable the summary cache")
 	list := flag.Bool("list", false, "list rules and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: almalint [-json] [-rules id,id,...] [-list] [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: almalint [-json] [-sarif file] [-graph call|lock] [-rules id,id,...] [-cache-dir dir] [-nocache] [-list] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	rules := lint.DefaultRules()
+	deep := lint.DefaultDeepRules()
 	if *list {
 		for _, r := range rules {
 			fmt.Printf("%-12s %s\n", r.ID(), r.Doc())
+		}
+		for _, r := range deep {
+			fmt.Printf("%-12s %s (deep)\n", r.ID(), r.Doc())
 		}
 		return
 	}
@@ -51,45 +67,95 @@ func main() {
 				delete(want, r.ID())
 			}
 		}
+		var selDeep []lint.DeepRule
+		for _, r := range deep {
+			if want[r.ID()] {
+				selDeep = append(selDeep, r)
+				delete(want, r.ID())
+			}
+		}
 		for id := range want {
 			fatalf("unknown rule %q (use -list)", id)
 		}
-		rules = sel
+		rules, deep = sel, selDeep
+	}
+	if *graph != "" && *graph != "call" && *graph != "lock" {
+		fatalf("-graph must be 'call' or 'lock'")
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fatalf("%v", err)
-	}
+
+	var findings []lint.Finding
+	var prog *flow.Program
 
 	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	var pkgs []*lint.Package
-	for _, pat := range patterns {
-		switch {
-		case pat == "./..." || pat == "...":
-			all, err := loader.LoadAll()
-			if err != nil {
-				fatalf("%v", err)
+	wholeModule := len(patterns) == 0 || (len(patterns) == 1 && (patterns[0] == "./..." || patterns[0] == "..."))
+	if wholeModule {
+		dir := ""
+		if !*noCache {
+			dir = *cacheDir
+			if dir == "" {
+				if base, err := os.UserCacheDir(); err == nil {
+					dir = filepath.Join(base, "almalint")
+				}
 			}
-			pkgs = append(pkgs, all...)
-		default:
+		}
+		res, err := lint.Analyze(root, dir, rules, deep)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		findings, prog = res.Findings, res.Program
+		fmt.Fprintf(os.Stderr, "almalint: %d packages (%d cached, %d analyzed)\n",
+			res.Stats.Packages, res.Stats.CacheHits, res.Stats.CacheMisses)
+	} else {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var pkgs []*lint.Package
+		for _, pat := range patterns {
 			p, err := loader.Load(strings.TrimSuffix(pat, "/"))
 			if err != nil {
 				fatalf("%v", err)
 			}
 			pkgs = append(pkgs, p)
 		}
+		findings = lint.RunAll(pkgs, loader.ModulePath, rules, deep)
+		if *graph != "" {
+			var sums []flow.FuncSummary
+			for _, p := range pkgs {
+				sums = append(sums, lint.ExtractPackage(p, loader.ModulePath)...)
+			}
+			prog = flow.Link(sums)
+		}
 	}
 
-	findings := lint.Run(pkgs, rules)
-	if *jsonOut {
+	if *sarifOut != "" {
+		docs := map[string]string{}
+		for _, r := range rules {
+			docs[r.ID()] = r.Doc()
+		}
+		for _, r := range deep {
+			docs[r.ID()] = r.Doc()
+		}
+		data, err := lint.ToSARIF(findings, docs, root)
+		if err != nil {
+			fatalf("sarif: %v", err)
+		}
+		if err := os.WriteFile(*sarifOut, data, 0o644); err != nil {
+			fatalf("sarif: %v", err)
+		}
+	}
+
+	switch {
+	case *graph == "call":
+		fmt.Print(prog.CallGraphDot())
+	case *graph == "lock":
+		fmt.Print(prog.LockGraphDot())
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -98,7 +164,7 @@ func main() {
 		if err := enc.Encode(findings); err != nil {
 			fatalf("%v", err)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}

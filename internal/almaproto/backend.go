@@ -72,7 +72,7 @@ func (b *deviceBackend) Stats() DeviceStats {
 func (b *deviceBackend) Metrics() obs.Snapshot {
 	// Counter and window state belong to the device and need the firmware
 	// lock; the histogram maps are read from the lock-free registry after
-	// release (obs calls must stay out of lock regions — almalint lockheld).
+	// release (obs calls must stay out of lock regions — almalint lockorder).
 	b.mu.Lock()
 	snap := obs.Snapshot{
 		Shards:        1,

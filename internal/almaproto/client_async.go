@@ -55,7 +55,7 @@ func (c *Client) demux() {
 	for {
 		body, err := readFrame(c.conn)
 		if err != nil {
-			c.failPending(err)
+			c.failPending(fmt.Errorf("%w: %w", ErrConnClosed, err))
 			return
 		}
 		if len(body) < 9 { // u64 reqID + u8 status minimum

@@ -177,6 +177,11 @@ const maxFrame = 64 << 20
 var (
 	ErrFrameTooLarge = errors.New("almaproto: frame exceeds limit")
 	ErrShortPayload  = errors.New("almaproto: truncated payload")
+	// ErrConnClosed marks a tagged-transport failure: the connection died
+	// with submissions in flight. Every outstanding Wait and every later
+	// Submit on the connection reports it, so pipelined callers get a
+	// typed error instead of a hang when the server goes away.
+	ErrConnClosed = errors.New("almaproto: connection closed")
 )
 
 // Response status codes. Like opcodes, status codes are append-only: 0

@@ -152,7 +152,7 @@ func (s *Server) Shutdown() error {
 	// An expired read deadline makes the *next* readFrame fail without
 	// affecting a dispatch already in progress or its response write.
 	for conn := range s.conns {
-		//almalint:allow wallclock network read deadlines are host wall time, not simulated time
+		//almalint:allow wallclock reason: network read deadlines are host wall time, not simulated time
 		_ = conn.SetReadDeadline(time.Now())
 	}
 	s.lnMu.Unlock()

@@ -327,7 +327,7 @@ func (a *Array) submitTo(sh int, cmd *Cmd) error {
 	// Sending under the read lock is the design: Close takes the write side
 	// only after every in-flight send finished, and workers drain the queue
 	// without ever taking closeMu, so a full queue cannot deadlock Close.
-	//almalint:allow lockheld worker consumes without taking closeMu
+	//almalint:allow lockorder reason: workers drain sq without taking closeMu, so a full queue cannot block Close
 	a.shards[sh].sq <- cmd
 	return nil
 }

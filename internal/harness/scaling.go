@@ -145,9 +145,9 @@ func (c Config) runScale(n int, footprint uint64, requests int) (*trace.RunStats
 	for i := range reqs {
 		reqs[i].At = reqs[i].At + shift
 	}
-	wallStart := time.Now() //almalint:allow wallclock the scaling experiment measures real host parallelism
+	wallStart := time.Now() //almalint:allow wallclock reason: the scaling experiment measures real host parallelism
 	st, err := array.Replay(arr, reqs, trace.ReplayOptions{Content: gen, AnnounceIdle: true, KeepLatencies: true})
-	wall := time.Since(wallStart) //almalint:allow wallclock the scaling experiment measures real host parallelism
+	wall := time.Since(wallStart) //almalint:allow wallclock reason: the scaling experiment measures real host parallelism
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"almanac/internal/lint/flow"
+)
+
+// cacheVersion invalidates every cache entry when the summary format or
+// any rule's semantics change. Bump it alongside such changes.
+const cacheVersion = "almalint-cache-v1"
+
+// allowRecord is one allow directive in serializable form, kept in the
+// cache so deep-rule findings can be filtered without re-parsing clean
+// packages.
+type allowRecord struct {
+	File  string   `json:"file"`
+	Line  int      `json:"line"`
+	Rules []string `json:"rules"`
+}
+
+// cacheEntry is the per-package cache payload: everything a warm run
+// needs from a clean package without parsing or type-checking it.
+// Classic findings are safe to cache per package (they depend only on the
+// package's own files); deep findings are NOT cached — they are derived
+// every run by re-linking the (cached) summaries, because a finding
+// anchored in package A can be caused by an edit in package B.
+type cacheEntry struct {
+	Version   string             `json:"version"`
+	Hash      string             `json:"hash"`
+	Summaries []flow.FuncSummary `json:"summaries"`
+	Findings  []Finding          `json:"findings"`
+	Allows    []allowRecord      `json:"allows"`
+}
+
+// AnalyzeStats reports how one Analyze call used the cache.
+type AnalyzeStats struct {
+	Packages    int
+	CacheHits   int
+	CacheMisses int
+}
+
+// Result is the output of Analyze.
+type Result struct {
+	Findings []Finding
+	Stats    AnalyzeStats
+	// Program is the linked whole-module flow program (for -graph export).
+	Program *flow.Program
+}
+
+// Analyze runs the full rule set (classic + deep) over the module rooted
+// at root. When cacheDir is non-empty, per-package summaries and classic
+// findings are persisted there, keyed by a content hash covering the
+// package's files and its transitive module-internal dependencies; warm
+// runs skip parsing and type-checking for unchanged packages entirely,
+// which is what keeps warm wall time well under cold.
+func Analyze(root, cacheDir string, rules []Rule, deep []DeepRule) (*Result, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	hashes, err := contentHashes(loader, dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	if cacheDir != "" {
+		// Best effort: an unusable cache directory degrades to cold runs.
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			cacheDir = ""
+		}
+	}
+
+	res := &Result{Stats: AnalyzeStats{Packages: len(dirs)}}
+	var sums []flow.FuncSummary
+	allows := allowSet{}
+	ruleKey := ruleSetKey(rules, deep)
+
+	for _, dir := range dirs {
+		key := hashes[dir] + "|" + ruleKey
+		var entry *cacheEntry
+		path := ""
+		if cacheDir != "" {
+			path = filepath.Join(cacheDir, entryName(loader, dir))
+			entry = readEntry(path, key)
+		}
+		if entry != nil {
+			res.Stats.CacheHits++
+		} else {
+			res.Stats.CacheMisses++
+			p, err := loader.Load(dir)
+			if err != nil {
+				return nil, err
+			}
+			entry = &cacheEntry{
+				Version:   cacheVersion,
+				Hash:      key,
+				Summaries: ExtractPackage(p, loader.ModulePath),
+				Findings:  Run([]*Package{p}, rules),
+				Allows:    allowRecords(p),
+			}
+			if path != "" {
+				writeEntry(path, entry)
+			}
+		}
+		res.Findings = append(res.Findings, entry.Findings...)
+		sums = append(sums, entry.Summaries...)
+		mergeAllowRecords(allows, entry.Allows)
+	}
+
+	res.Program = flow.Link(sums)
+	for _, r := range deep {
+		for _, f := range r.CheckProgram(res.Program) {
+			if allows.allowed(f.Rule, f.File, f.Line) {
+				continue
+			}
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// ruleSetKey folds the active rule IDs into the cache key so adding or
+// removing a rule invalidates cached findings.
+func ruleSetKey(rules []Rule, deep []DeepRule) string {
+	var ids []string
+	for _, r := range rules {
+		ids = append(ids, r.ID())
+	}
+	for _, r := range deep {
+		ids = append(ids, "deep:"+r.ID())
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// entryName derives a stable cache file name from the import path.
+func entryName(l *Loader, dir string) string {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		path = dir
+	}
+	sum := sha256.Sum256([]byte(path))
+	return hex.EncodeToString(sum[:8]) + ".json"
+}
+
+func readEntry(path, wantKey string) *cacheEntry {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil {
+		return nil
+	}
+	if e.Version != cacheVersion || e.Hash != wantKey {
+		return nil
+	}
+	return &e
+}
+
+func writeEntry(path string, e *cacheEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// contentHashes computes, for every package directory, a hash covering
+// the package's own non-test Go files and (transitively) those of every
+// module-internal dependency — discovered with imports-only parsing, so a
+// warm run never type-checks anything. An edit to a dependency therefore
+// invalidates its dependents, which is what makes caching summaries of
+// type-checked code sound.
+func contentHashes(l *Loader, dirs []string) (map[string]string, error) {
+	own := map[string]string{}
+	deps := map[string][]string{}
+	byPath := map[string]string{} // import path → dir
+	fset := token.NewFileSet()
+
+	for _, dir := range dirs {
+		importPath, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		byPath[importPath] = dir
+
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+
+		h := sha256.New()
+		var imports []string
+		for _, name := range names {
+			full := filepath.Join(dir, name)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+			_, _ = h.Write(data) // hash.Hash writes never fail
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				continue // the real load will surface the error
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == l.ModulePath || strings.HasPrefix(p, l.ModulePath+"/") {
+					imports = append(imports, p)
+				}
+			}
+		}
+		own[dir] = hex.EncodeToString(h.Sum(nil))
+		sort.Strings(imports)
+		deps[dir] = imports
+	}
+
+	// Transitive hash: own hash + dependency hashes, memoized. Go forbids
+	// import cycles, so plain recursion terminates.
+	memo := map[string]string{}
+	var trans func(dir string) string
+	trans = func(dir string) string {
+		if v, ok := memo[dir]; ok {
+			return v
+		}
+		memo[dir] = own[dir] // break accidental cycles defensively
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00", own[dir])
+		prev := ""
+		for _, imp := range deps[dir] {
+			if imp == prev {
+				continue
+			}
+			prev = imp
+			if d, ok := byPath[imp]; ok {
+				fmt.Fprintf(h, "%s=%s\x00", imp, trans(d))
+			}
+		}
+		v := hex.EncodeToString(h.Sum(nil))
+		memo[dir] = v
+		return v
+	}
+	out := map[string]string{}
+	for _, dir := range dirs {
+		out[dir] = trans(dir)
+	}
+	return out, nil
+}
+
+// allowRecords serializes a package's allow directives.
+func allowRecords(p *Package) []allowRecord {
+	set := collectAllows(p)
+	var out []allowRecord
+	var files []string
+	for f := range set {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		var lines []int
+		for l := range set[f] {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			var rules []string
+			for r := range set[f][l] {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			out = append(out, allowRecord{File: f, Line: l, Rules: rules})
+		}
+	}
+	return out
+}
+
+func mergeAllowRecords(set allowSet, recs []allowRecord) {
+	for _, rec := range recs {
+		lines := set[rec.File]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			set[rec.File] = lines
+		}
+		rules := lines[rec.Line]
+		if rules == nil {
+			rules = map[string]bool{}
+			lines[rec.Line] = rules
+		}
+		for _, r := range rec.Rules {
+			rules[r] = true
+		}
+	}
+}

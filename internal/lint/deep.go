@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"sort"
+
+	"almanac/internal/lint/flow"
+)
+
+// DeepRule is a whole-program rule: instead of inspecting one package's
+// AST it queries the linked flow.Program — the call graph, lock graph,
+// and taint facts computed over every package at once. Deep findings are
+// filtered through the same //almalint:allow mechanism as classic rules.
+type DeepRule interface {
+	// ID is the rule identifier used in reports and allow comments.
+	ID() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// CheckProgram reports violations found in the linked program.
+	CheckProgram(prog *flow.Program) []Finding
+}
+
+// DefaultDeepRules returns the three interprocedural rules in production
+// configuration.
+func DefaultDeepRules() []DeepRule {
+	return []DeepRule{NewLockOrder(), NewWallTaint(), NewAtomicMix()}
+}
+
+// ExtractPackage summarizes one type-checked package for the flow engine.
+// The summaries are plain data — cmd/almalint caches them per package.
+func ExtractPackage(p *Package, modulePath string) []flow.FuncSummary {
+	return flow.Extract(&flow.Source{
+		ImportPath: p.ImportPath,
+		ModulePath: modulePath,
+		Fset:       p.Fset,
+		Files:      p.Files,
+		Pkg:        p.Pkg,
+		Info:       p.Info,
+	})
+}
+
+// RunDeep links summaries into a program, applies the deep rules, and
+// drops findings suppressed by the given allow records.
+func RunDeep(sums []flow.FuncSummary, allows allowSet, rules []DeepRule) []Finding {
+	prog := flow.Link(sums)
+	var out []Finding
+	for _, r := range rules {
+		for _, f := range r.CheckProgram(prog) {
+			if allows.allowed(f.Rule, f.File, f.Line) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// RunAll is the uncached full analysis: classic rules per package, then
+// extraction, linking, and the deep rules over the whole set.
+func RunAll(pkgs []*Package, modulePath string, rules []Rule, deep []DeepRule) []Finding {
+	out := Run(pkgs, rules)
+	if len(deep) > 0 {
+		var sums []flow.FuncSummary
+		allows := allowSet{}
+		for _, p := range pkgs {
+			sums = append(sums, ExtractPackage(p, modulePath)...)
+			collectAllowsInto(allows, p)
+		}
+		out = append(out, RunDeep(sums, allows, deep)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+}

@@ -1,0 +1,112 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CallGraphDot renders the resolved call graph in Graphviz DOT form.
+// Spawn edges (goroutines, escaping literals) are dashed; interface-call
+// edges are labeled with the method name.
+func (p *Program) CallGraphDot() string {
+	var b strings.Builder
+	b.WriteString("digraph almalint_callgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, k := range p.keys {
+		f := p.funcs[k]
+		fmt.Fprintf(&b, "  %s [label=%s];\n", dotID(k), dotString(f.Pkg+"\n"+f.Name))
+	}
+	for _, k := range p.keys {
+		f := p.funcs[k]
+		seen := map[string]bool{}
+		for ci := range f.Calls {
+			cs := &f.Calls[ci]
+			for _, g := range p.resolve(cs) {
+				var attrs []string
+				if cs.Go {
+					attrs = append(attrs, "style=dashed")
+				}
+				if cs.Method != "" {
+					attrs = append(attrs, "label="+dotString("."+cs.Method))
+				}
+				id := g + "|" + strings.Join(attrs, ",")
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				fmt.Fprintf(&b, "  %s -> %s", dotID(k), dotID(g))
+				if len(attrs) > 0 {
+					fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ", "))
+				}
+				b.WriteString(";\n")
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LockGraphDot renders the lock-order graph in Graphviz DOT form, with
+// every edge annotated by its witness position and any cycle highlighted.
+func (p *Program) LockGraphDot() string {
+	inCycle := map[string]bool{}
+	for _, c := range p.LockCycles() {
+		for _, e := range c.Edges {
+			inCycle[e.From+"|"+e.To] = true
+		}
+	}
+	var b strings.Builder
+	b.WriteString("digraph almalint_lockgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n")
+	nodes := map[string]bool{}
+	edges := p.LockGraph()
+	for _, e := range edges {
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for _, n := range order {
+		fmt.Fprintf(&b, "  %s [label=%s];\n", dotID(n), dotString(n))
+	}
+	for _, e := range edges {
+		label := e.Pos.String()
+		if e.Via != "" {
+			label += "\nvia " + e.Via
+		}
+		attrs := "label=" + dotString(label)
+		if inCycle[e.From+"|"+e.To] {
+			attrs += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", dotID(e.From), dotID(e.To), attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotID makes a string safe as a DOT node identifier.
+func dotID(s string) string {
+	var b strings.Builder
+	b.WriteString("n_")
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// dotString quotes a string as a DOT double-quoted literal.
+func dotString(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return `"` + s + `"`
+}

@@ -1,0 +1,335 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sourceName reports whether fn is a wall-clock or host-randomness source
+// and names it for diagnostics.
+func sourceName(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		// Only the package-level convenience functions draw from the
+		// global (host-seeded) source. rand.New(rand.NewSource(seed)) is
+		// the sanctioned deterministic pattern — not a taint source.
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8", "Seed":
+			return "", false
+		}
+		return fn.Pkg().Path() + "." + fn.Name(), true
+	case "crypto/rand":
+		switch fn.Name() {
+		case "Read", "Int", "Prime", "Text":
+			return "crypto/rand." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkConvSink records a conversion into vclock.Time/Duration — the
+// boundary where a host-derived value would become "virtual time".
+func (ex *extractor) checkConvSink(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := ex.src.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "/internal/vclock") {
+		return
+	}
+	name := named.Obj().Name()
+	if name != "Time" && name != "Duration" {
+		return
+	}
+	// Re-typing a value that is already the target type is not a boundary
+	// crossing.
+	if src := ex.src.Info.TypeOf(call.Args[0]); src != nil && namedOf(src) == named {
+		return
+	}
+	ex.sum.Sinks = append(ex.sum.Sinks, SinkSite{
+		Pos: posOf(ex.src, call), What: "conversion to vclock." + name,
+	})
+	ex.sinkExpr = append(ex.sinkExpr, call.Args[0])
+}
+
+// checkObsSink records the virtual-time arguments of obs recording calls:
+// Observe(class, virtNS, wallStart, ok) and
+// Record(class, lpa, issueNS, doneNS, wallStart, ok).
+func (ex *extractor) checkObsSink(call *ast.CallExpr, fn *types.Func) {
+	var idxs []int
+	switch fn.Name() {
+	case "Observe":
+		idxs = []int{1}
+	case "Record":
+		idxs = []int{2, 3}
+	default:
+		return
+	}
+	for _, i := range idxs {
+		if i >= len(call.Args) {
+			continue
+		}
+		ex.sum.Sinks = append(ex.sum.Sinks, SinkSite{
+			Pos:  posOf(ex.src, call.Args[i]),
+			What: fmt.Sprintf("virtual-time argument %d of obs.%s", i, fn.Name()),
+		})
+		ex.sinkExpr = append(ex.sinkExpr, call.Args[i])
+	}
+}
+
+// resolveTaint runs the flow-insensitive local fixpoint over recorded
+// assignments, then fills in the dependency sets of call arguments,
+// sinks, field stores, and returns.
+func (ex *extractor) resolveTaint() {
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for _, a := range ex.assigns {
+			d := retSlice(ex.eval(a.rhs), a.ret)
+			if len(d) == 0 {
+				continue
+			}
+			merged, grew := unionDeps(ex.locals[a.obj], d)
+			if grew {
+				ex.locals[a.obj] = merged
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, idx := range sortedCallIdx(ex.callIdx) {
+		exprs := ex.argExpr[idx]
+		if len(exprs) == 0 {
+			continue
+		}
+		var argDeps [][]Dep
+		any := false
+		for _, e := range exprs {
+			d := ex.eval(e)
+			if len(d) > 0 {
+				any = true
+			}
+			argDeps = append(argDeps, d)
+		}
+		if any {
+			ex.sum.Calls[idx].ArgDeps = argDeps
+		}
+	}
+	for i, e := range ex.sinkExpr {
+		ex.sum.Sinks[i].Deps = ex.eval(e)
+	}
+	for i, e := range ex.storeRhs {
+		if e != nil {
+			ex.sum.Stores[i].Deps = retSlice(ex.eval(e), ex.storeRet[i])
+		}
+	}
+	n := ex.numResults()
+	if n > 0 && len(ex.retExprs) > 0 {
+		rets := make([][]Dep, n)
+		for i, e := range ex.retExprs {
+			d := ex.eval(e)
+			if len(d) == 0 {
+				continue
+			}
+			if pos := ex.retPos[i]; pos >= 0 && pos < n {
+				rets[pos], _ = unionDeps(rets[pos], d)
+			} else {
+				// `return f()` forwarding a tuple: result j of this
+				// function is result j of the forwarded call; any non-call
+				// taint is spread conservatively.
+				for j := range rets {
+					rets[j], _ = unionDeps(rets[j], retSlice(d, j))
+				}
+			}
+		}
+		any := false
+		for _, r := range rets {
+			if len(r) > 0 {
+				any = true
+			}
+		}
+		if any {
+			ex.sum.ReturnDeps = rets
+		}
+	}
+}
+
+// retSlice projects deps onto tuple result position ret: call deps are
+// narrowed to that result; other dep kinds pass through unchanged. ret < 0
+// means "not a tuple context" and is the identity.
+func retSlice(deps []Dep, ret int) []Dep {
+	if ret < 0 {
+		return deps
+	}
+	var out []Dep
+	for _, d := range deps {
+		if d.Kind == DepCall {
+			d.Ret = ret
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func sortedCallIdx(m map[*ast.CallExpr]int) []int {
+	out := make([]int, 0, len(m))
+	for _, i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func depKey(d Dep) string {
+	switch d.Kind {
+	case DepSource:
+		return "s:" + d.Source
+	case DepParam:
+		return fmt.Sprintf("p:%d", d.Param)
+	case DepCall:
+		return fmt.Sprintf("c:%d:%d", d.CallIdx, d.Ret)
+	case DepField:
+		return "f:" + d.Field
+	}
+	return "?"
+}
+
+// unionDeps merges b into a, reporting whether a grew. Sets stay small
+// (bounded by distinct keys in one function).
+func unionDeps(a, b []Dep) ([]Dep, bool) {
+	grew := false
+	for _, d := range b {
+		found := false
+		k := depKey(d)
+		for _, e := range a {
+			if depKey(e) == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			a = append(a, d)
+			grew = true
+		}
+	}
+	return a, grew
+}
+
+// eval computes the taint dependencies of an expression under the current
+// local solution.
+func (ex *extractor) eval(e ast.Expr) []Dep {
+	return ex.evalDepth(e, 0)
+}
+
+func (ex *extractor) evalDepth(e ast.Expr, depth int) []Dep {
+	if depth > 12 {
+		return nil
+	}
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.ParenExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.Ident:
+		obj := ex.src.Info.Uses[e]
+		if obj == nil {
+			obj = ex.src.Info.Defs[e]
+		}
+		if obj == nil {
+			return nil
+		}
+		if i, ok := ex.params[obj]; ok {
+			return []Dep{{Kind: DepParam, Param: i}}
+		}
+		if d, ok := ex.locals[obj]; ok {
+			return d
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == ex.src.Pkg.Scope() {
+			return []Dep{{Kind: DepField, Field: "G:" + ex.src.ImportPath + "." + v.Name()}}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if id, ok := unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := ex.src.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := ex.src.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && ex.src.inModule(v.Pkg()) {
+					return []Dep{{Kind: DepField, Field: "G:" + v.Pkg().Path() + "." + v.Name()}}
+				}
+				return nil
+			}
+		}
+		if key, ok := ex.fieldKeyOf(e); ok {
+			out, _ := unionDeps([]Dep{{Kind: DepField, Field: key}}, ex.evalDepth(e.X, depth+1))
+			return out
+		}
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.CallExpr:
+		if tv, ok := ex.src.Info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return ex.evalDepth(e.Args[0], depth+1)
+			}
+			return nil
+		}
+		if name, ok := sourceName(ex.calleeFunc(e)); ok {
+			return []Dep{{Kind: DepSource, Source: name, Pos: posOf(ex.src, e)}}
+		}
+		if idx, ok := ex.callIdx[e]; ok {
+			return []Dep{{Kind: DepCall, CallIdx: idx}}
+		}
+		// Unresolved call (stdlib helper, function value): taint passes
+		// through receiver and arguments — time.Now().UnixNano() stays
+		// tainted even though UnixNano itself is not a source.
+		var out []Dep
+		if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+			out, _ = unionDeps(out, ex.evalDepth(sel.X, depth+1))
+		}
+		for _, a := range e.Args {
+			out, _ = unionDeps(out, ex.evalDepth(a, depth+1))
+		}
+		return out
+	case *ast.BinaryExpr:
+		out, _ := unionDeps(ex.evalDepth(e.X, depth+1), ex.evalDepth(e.Y, depth+1))
+		return out
+	case *ast.UnaryExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.StarExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.IndexExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.SliceExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.TypeAssertExpr:
+		return ex.evalDepth(e.X, depth+1)
+	case *ast.CompositeLit:
+		var out []Dep
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out, _ = unionDeps(out, ex.evalDepth(el, depth+1))
+		}
+		return out
+	}
+	return nil
+}

@@ -13,10 +13,17 @@
 // A finding can be suppressed with an allow comment on the offending line
 // or the line directly above it:
 //
-//	//almalint:allow <rule-id> [reason...]
+//	//almalint:allow <rule-id>[, <rule-id>...] reason: <justification>
 //
-// Suppressions are meant for the documented exceptions only (e.g. wall-time
-// measurement in the harness); genuine violations should be fixed.
+// The reason: suffix is mandatory (enforced by the allowreason rule, whose
+// own findings can never be suppressed). Suppressions are meant for the
+// documented exceptions only (e.g. wall-time measurement in the harness);
+// genuine violations should be fixed.
+//
+// Beyond the per-package classic rules, almalint has an interprocedural
+// layer: package flow builds whole-module function summaries, links them
+// into a call/lock/taint graph, and the deep rules (lockorder, walltaint,
+// atomicmix) query it. See deep.go and internal/lint/flow.
 package lint
 
 import (
@@ -54,17 +61,19 @@ type Rule interface {
 	Check(pkg *Package) []Finding
 }
 
-// DefaultRules returns all seven project rules in their production
-// configuration.
+// DefaultRules returns the classic (single-package) project rules in
+// their production configuration. The interprocedural rules live in
+// DefaultDeepRules; lock discipline moved there (lockorder subsumed the
+// old lexical lockheld rule).
 func DefaultRules() []Rule {
 	return []Rule{
 		NewWallclock(),
 		NewSeededRand(),
 		NewLayering(),
-		NewLockHeld(),
 		NewCheckedErr(),
 		NewMapOrder(),
 		NewFaultPlan(),
+		NewAllowReason(),
 	}
 }
 
@@ -104,6 +113,13 @@ const AllowPrefix = "almalint:allow"
 // collectAllows scans every comment in the package for allow directives.
 func collectAllows(p *Package) allowSet {
 	set := allowSet{}
+	collectAllowsInto(set, p)
+	return set
+}
+
+// collectAllowsInto merges p's allow directives into set, so deep rules
+// can filter against the whole module's suppressions at once.
+func collectAllowsInto(set allowSet, p *Package) {
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -143,7 +159,6 @@ func collectAllows(p *Package) allowSet {
 			}
 		}
 	}
-	return set
 }
 
 func isRuleToken(s string) bool {
@@ -159,8 +174,12 @@ func isRuleToken(s string) bool {
 }
 
 // allowed reports whether rule is suppressed at file:line — by a directive
-// on the line itself or on the line directly above.
+// on the line itself or on the line directly above. allowreason findings
+// are never suppressible: they flag the directives themselves.
 func (s allowSet) allowed(rule, file string, line int) bool {
+	if rule == "allowreason" {
+		return false
+	}
 	lines := s[file]
 	if lines == nil {
 		return false

@@ -70,8 +70,8 @@ func wantMarkers(t *testing.T, dir string) map[string]bool {
 	return want
 }
 
-// TestGoldenCorpus runs the default rules over every testdata package and
-// compares findings against the // want markers, exercising all six rules.
+// TestGoldenCorpus runs the full rule set — classic and deep — over every
+// testdata package and compares findings against the // want markers.
 func TestGoldenCorpus(t *testing.T) {
 	l := loaderFor(t)
 	corpus := filepath.Join(l.ModuleDir, "internal", "lint", "testdata")
@@ -90,7 +90,7 @@ func TestGoldenCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("loading corpus package: %v", err)
 			}
-			findings := Run([]*Package{pkg}, DefaultRules())
+			findings := RunAll([]*Package{pkg}, l.ModulePath, DefaultRules(), DefaultDeepRules())
 			if len(findings) == 0 {
 				t.Fatalf("corpus package %s produced no findings", e.Name())
 			}
@@ -118,15 +118,21 @@ func TestGoldenCorpus(t *testing.T) {
 			all = append(all, r.ID())
 		}
 	}
+	for _, r := range DefaultDeepRules() {
+		if !rulesSeen[r.ID()] {
+			all = append(all, r.ID())
+		}
+	}
 	if len(all) > 0 {
 		sort.Strings(all)
 		t.Errorf("rules not exercised by the corpus: %s", strings.Join(all, ", "))
 	}
 }
 
-// TestRepoIsClean is the self-check: the default rules over the whole
-// module must report nothing — every legitimate exception carries its
-// allow annotation, and everything else has been fixed.
+// TestRepoIsClean is the self-check: the full rule set — classic and
+// deep — over the whole module must report nothing. Every legitimate
+// exception carries its reasoned allow annotation, and everything else
+// has been fixed.
 func TestRepoIsClean(t *testing.T) {
 	l := loaderFor(t)
 	pkgs, err := l.LoadAll()
@@ -136,9 +142,42 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	findings := Run(pkgs, DefaultRules())
+	findings := RunAll(pkgs, l.ModulePath, DefaultRules(), DefaultDeepRules())
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestAnalyzeCacheWarm pins the summary cache contract: a second Analyze
+// over an unchanged tree hits the cache for every package and reproduces
+// the cold run's findings exactly.
+func TestAnalyzeCacheWarm(t *testing.T) {
+	l := loaderFor(t)
+	cacheDir := t.TempDir()
+	cold, err := Analyze(l.ModuleDir, cacheDir, DefaultRules(), DefaultDeepRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheMisses != cold.Stats.Packages {
+		t.Errorf("cold run: %d misses for %d packages", cold.Stats.CacheMisses, cold.Stats.Packages)
+	}
+	warm, err := Analyze(l.ModuleDir, cacheDir, DefaultRules(), DefaultDeepRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != warm.Stats.Packages || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm run: %d/%d hits, want all", warm.Stats.CacheHits, warm.Stats.Packages)
+	}
+	if len(warm.Findings) != len(cold.Findings) {
+		t.Fatalf("warm run found %d findings, cold %d", len(warm.Findings), len(cold.Findings))
+	}
+	for i := range warm.Findings {
+		if warm.Findings[i] != cold.Findings[i] {
+			t.Errorf("finding %d differs: cold %v, warm %v", i, cold.Findings[i], warm.Findings[i])
+		}
+	}
+	if warm.Program == nil || len(warm.Program.FuncKeys()) == 0 {
+		t.Error("warm run lost the linked program")
 	}
 }
 

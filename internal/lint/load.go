@@ -123,10 +123,10 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	return l.load(path)
 }
 
-// LoadAll walks the module and loads every buildable package, skipping
-// testdata, vendor, and hidden directories (the same set the go tool
-// ignores). Packages are returned sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// PackageDirs walks the module and returns every directory containing
+// buildable Go files, skipping testdata, vendor, and hidden directories
+// (the same set the go tool ignores).
+func (l *Loader) PackageDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -145,6 +145,13 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		return nil
 	})
+	return dirs, err
+}
+
+// LoadAll loads every buildable package of the module. Packages are
+// returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.PackageDirs()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,23 @@
+// Package allowreasonbad is a golden-corpus package for the allowreason
+// rule: every suppression must name rule IDs and justify itself.
+package allowreasonbad
+
+import "time"
+
+// BareAllow suppresses a finding without saying why.
+func BareAllow() int64 {
+	//almalint:allow wallclock // want allowreason
+	return time.Now().UnixNano()
+}
+
+// NoRuleIDs has a reason but forgot which rule it is silencing.
+func NoRuleIDs() int64 {
+	//almalint:allow reason: measuring host time on purpose // want allowreason
+	return time.Now().UnixNano() // want wallclock
+}
+
+// Justified is the approved form; nothing to report.
+func Justified() int64 {
+	//almalint:allow wallclock reason: corpus fixture exercising the approved suppression form
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,41 @@
+// Package atomicmixbad is a golden-corpus package for the atomicmix rule:
+// a field accessed via sync/atomic anywhere must be atomic everywhere.
+package atomicmixbad
+
+import "sync/atomic"
+
+// Counter mixes disciplines: Add goes through sync/atomic, Snapshot
+// reads the same word plainly from another function — a data race the
+// race detector only catches if both paths run concurrently in a test.
+type Counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want atomicmix
+}
+
+func (c *Counter) Reset() {
+	c.hits = 0 // want atomicmix
+}
+
+// ColdPath never uses sync/atomic on cold, so plain access is fine.
+func (c *Counter) ColdPath() int64 {
+	c.cold++
+	return c.cold
+}
+
+// Typed uses atomic.Int64, which cannot be accessed plainly at all — the
+// approved fix for Counter.
+type Typed struct {
+	hits atomic.Int64
+}
+
+func (t *Typed) Add() int64 {
+	return t.hits.Add(1)
+}

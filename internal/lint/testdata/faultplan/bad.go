@@ -30,6 +30,6 @@ func Parsed() (*fault.Injector, error) {
 
 // Allowed demonstrates the escape hatch.
 func Allowed() fault.Rule {
-	//almalint:allow faultplan corpus demonstration of the escape hatch
+	//almalint:allow faultplan reason: corpus demonstration of the escape hatch
 	return fault.Rule{Effect: fault.EraseFail, Channel: fault.Any, Block: fault.Any, Page: fault.Any}
 }

@@ -1,5 +1,5 @@
-// Package lockheldbad is a golden-corpus package for the lockheld rule.
-package lockheldbad
+// Package lockorderbad is a golden-corpus package for the lockorder rule.
+package lockorderbad
 
 import "sync"
 
@@ -14,7 +14,7 @@ type Q struct {
 // consumer needs mu, this deadlocks when ch is full.
 func (q *Q) SendUnderLock(v int) {
 	q.mu.Lock()
-	q.ch <- v // want lockheld
+	q.ch <- v // want lockorder
 	q.mu.Unlock()
 }
 
@@ -23,13 +23,13 @@ func (q *Q) SendUnderLock(v int) {
 func (q *Q) RecvUnderDeferredLock() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return <-q.ch // want lockheld
+	return <-q.ch // want lockorder
 }
 
 // WaitUnderLock parks on a WaitGroup inside the critical section.
 func (q *Q) WaitUnderLock() {
 	q.mu.Lock()
-	q.wg.Wait() // want lockheld
+	q.wg.Wait() // want lockorder
 	q.mu.Unlock()
 }
 
@@ -37,7 +37,7 @@ func (q *Q) WaitUnderLock() {
 func (q *Q) SelectUnderLock() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	select { // want lockheld
+	select { // want lockorder
 	case v := <-q.ch:
 		return v
 	default:

@@ -1,0 +1,90 @@
+package lockorderbad
+
+import "sync"
+
+// Pair exercises the interprocedural half of the rule: every violation
+// below spans at least two functions, so a lexical checker cannot see it.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB takes a then b — but b is acquired two calls away.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockB() // want lockorder
+}
+
+func (p *Pair) lockB() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// BA takes b then a through a helper: the opposite order. Together with
+// AB this is the classic ABBA deadlock, assembled across four functions.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.lockA()
+}
+
+func (p *Pair) lockA() {
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// NotifyUnderLock blocks through a callee: the send lives in send(), the
+// lock in the caller.
+func (p *Pair) NotifyUnderLock(ch chan int) {
+	p.a.Lock()
+	p.send(ch) // want lockorder
+	p.a.Unlock()
+}
+
+func (p *Pair) send(ch chan int) {
+	ch <- 1
+}
+
+// Guard exercises locks passed as parameters (through the sync.Locker
+// interface) and goroutine spawns.
+type Guard struct {
+	mu  sync.Mutex
+	res sync.Mutex
+}
+
+// acquireVia locks whatever it is handed, then res: the first edge of the
+// cycle exists only after the caller's argument is substituted in.
+func acquireVia(l sync.Locker, g *Guard) {
+	l.Lock()
+	g.res.Lock()
+	g.res.Unlock()
+	l.Unlock()
+}
+
+// Front instantiates acquireVia's parameter with g.mu: mu → res.
+func (g *Guard) Front() {
+	acquireVia(&g.mu, g) // want lockorder
+}
+
+// SpawnWorkers launches workers under mu. The spawns themselves are fine
+// (a goroutine does not inherit the caller's locks), but each worker
+// takes res → mu, closing the cycle against Front.
+func (g *Guard) SpawnWorkers(n int) {
+	g.mu.Lock()
+	for i := 0; i < n; i++ {
+		go g.worker()
+	}
+	g.mu.Unlock()
+}
+
+func (g *Guard) worker() {
+	g.res.Lock()
+	defer g.res.Unlock()
+	g.poke()
+}
+
+func (g *Guard) poke() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}

@@ -1,4 +1,4 @@
-package lockheldbad
+package lockorderbad
 
 import (
 	"sync"
@@ -19,13 +19,13 @@ type B struct {
 func (b *B) SnapshotUnderLock() map[string]obs.OpStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.reg.Ops() // want lockheld
+	return b.reg.Ops() // want lockorder
 }
 
 // RecordUnderLock instruments from inside the critical section.
 func (b *B) RecordUnderLock(ns int64) {
 	b.mu.Lock()
-	b.reg.Observe(obs.HostWrite, ns, 0, true) // want lockheld
+	b.reg.Observe(obs.HostWrite, ns, 0, true) // want lockorder
 	b.mu.Unlock()
 }
 

@@ -20,7 +20,7 @@ func Spin() {
 // Allowed demonstrates the escape hatch: the annotation suppresses the
 // finding on the next line.
 func Allowed() time.Time {
-	//almalint:allow wallclock corpus demonstration of the escape hatch
+	//almalint:allow wallclock reason: corpus demonstration of the escape hatch
 	return time.Now()
 }
 

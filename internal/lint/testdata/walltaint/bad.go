@@ -1,0 +1,59 @@
+// Package walltaintbad is a golden-corpus package for the walltaint rule:
+// wall-clock and host-randomness values must never become virtual time.
+package walltaintbad
+
+import (
+	"math/rand"
+	"time"
+
+	"almanac/internal/vclock"
+)
+
+// hostNanos hides the wall-clock read behind a helper: the taint crosses
+// a function boundary before it is converted.
+func hostNanos() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+// DirectConversion converts a helper-laundered wall-clock value.
+func DirectConversion() vclock.Time {
+	return vclock.Time(hostNanos()) // want walltaint
+}
+
+// Meter carries a wall-derived value through a struct field: written in
+// one method, converted in another.
+type Meter struct {
+	stampNS int64
+}
+
+func (m *Meter) Stamp() {
+	m.stampNS = hostNanos()
+}
+
+func (m *Meter) Virtual() vclock.Time {
+	return vclock.Time(m.stampNS) // want walltaint
+}
+
+// GlobalRand feeds the unseeded global source into virtual time.
+func GlobalRand() vclock.Time {
+	return vclock.Time(rand.Int63()) // want walltaint seededrand
+}
+
+// SeededIsFine is the sanctioned deterministic pattern: an explicitly
+// seeded generator is not host randomness.
+func SeededIsFine(seed int64) vclock.Time {
+	r := rand.New(rand.NewSource(seed))
+	return vclock.Time(r.Int63())
+}
+
+// TupleSiblingIsFine returns a virtual value next to a wall-clock one;
+// positional tracking must not smear the duration's taint onto it.
+func timed(at vclock.Time) (vclock.Time, time.Duration) {
+	start := time.Now()                                       // want wallclock
+	return at + vclock.Time(vclock.Second), time.Since(start) // want wallclock
+}
+
+func TupleSiblingIsFine(at vclock.Time) vclock.Time {
+	v, _ := timed(at)
+	return vclock.Time(int64(v))
+}

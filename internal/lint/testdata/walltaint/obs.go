@@ -1,0 +1,19 @@
+package walltaintbad
+
+import (
+	"time"
+
+	"almanac/internal/obs"
+)
+
+// emit is the instrumentation helper: the sink (Observe's virtual-time
+// argument) lives here, two frames away from the wall-clock read.
+func emit(reg *obs.Registry, virtNS int64) {
+	reg.Observe(obs.HostWrite, virtNS, 0, true) // want walltaint
+}
+
+// ObserveWall measures host elapsed time and reports it as virtual.
+func ObserveWall(reg *obs.Registry) {
+	start := time.Now()                        // want wallclock
+	emit(reg, time.Since(start).Nanoseconds()) // want wallclock
+}
