@@ -5,10 +5,10 @@
 //
 //	almanac [-scale quick|standard] [-seed N] [-j N] [-list] [experiment ...]
 //
-// With no experiment arguments it runs everything. Experiment names are
-// fig6 fig7 fig8 fig9a fig9b fig10 fig11 table3 ablation-compress
-// ablation-group ablation-th ablation-bound ablation-mapcache
-// ablation-wear scaling obs crashsweep service (see -list). The service
+// With no experiment arguments it runs everything. -list enumerates the
+// experiment registry (harness.Register): the paper figures and tables,
+// the ablations, scaling/obs/crashsweep/service, and the design-space
+// sweep ("sweep" — see cmd/almasweep for the full engine). The service
 // experiment drives the multi-tenant volume layer with thousands of
 // concurrent pipelined clients and reports virtual- and wall-time
 // latency percentiles per operation class.

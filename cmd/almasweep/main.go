@@ -1,0 +1,124 @@
+// Command almasweep explores TimeSSD's design space: it expands a sweep
+// spec into concrete configurations, runs one deterministic workload per
+// configuration across a worker pool, and reduces the results to a
+// Pareto-frontier table plus a machine-readable SWEEP artifact.
+//
+// Usage:
+//
+//	almasweep [-spec file] [-scale quick|standard] [-seed N] [-j N]
+//	          [-values N] [-days N] [-reqperday N]
+//	          [-checkpoint file] [-o artifact.json] [-full] [-knobs]
+//
+// Without -spec it runs the default grid (four axes: over-provisioning,
+// retention bound, Bloom granularity, Eq. 1 threshold) at -values points
+// per axis. The same spec, seed, and scale produce a byte-identical
+// artifact at any -j and on any host; -checkpoint makes a killed run
+// resume where it stopped.
+//
+// Spec files are line-oriented:
+//
+//	sweep <name>
+//	seed <n>
+//	sample grid            # or: sample lhs <n>
+//	workload <name> usage <f> days <n> reqperday <n>
+//	axis <knob> <v1> <v2> ...
+//	axis <knob> range <min> <max>   # lhs only
+//
+// -knobs lists the sweepable knobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/harness"
+	"almanac/internal/sweep"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep spec file (default: built-in default grid)")
+	scale := flag.String("scale", "quick", "base device scale: quick or standard")
+	seed := flag.Int64("seed", 1, "seed for the default grid (spec files carry their own)")
+	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical at any -j)")
+	values := flag.Int("values", 4, "default grid: values per axis (2..4; 4 = 256 points)")
+	days := flag.Int("days", 2, "default grid: trace days per design point")
+	reqPerDay := flag.Int("reqperday", 200, "default grid: requests per simulated day")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: appended per completed point, consulted on start")
+	out := flag.String("o", "", "write the JSON artifact here (atomic tmp+rename)")
+	full := flag.Bool("full", false, "print every design point, not just the Pareto frontier")
+	knobs := flag.Bool("knobs", false, "list sweepable knobs and exit")
+	flag.Parse()
+
+	if *knobs {
+		for _, k := range sweep.Knobs() {
+			fmt.Printf("%-12s %s\n", k[0], k[1])
+		}
+		return
+	}
+
+	var hc harness.Config
+	switch *scale {
+	case "quick":
+		hc = harness.Quick()
+	case "standard":
+		hc = harness.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "almasweep: unknown scale %q (quick|standard)\n", *scale)
+		os.Exit(2)
+	}
+
+	var spec *sweep.Spec
+	if *specPath != "" {
+		text, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = sweep.Parse(string(text))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec = sweep.DefaultSpec(*seed, *values, *days, *reqPerDay)
+	}
+
+	base := core.DefaultConfig(ftl.WithFlash(hc.Flash))
+	base.MinRetention = hc.MinRetention
+
+	eng := &sweep.Engine{Spec: spec, Base: base, Workers: *jobs, Checkpoint: *checkpoint}
+	res, err := eng.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	pareto := res.Pareto()
+	if *full {
+		header, rows := res.TableFor(res.Points)
+		tab := harness.Table{Title: res.Title(), Header: header, Rows: rows}
+		fmt.Println(tab.Render())
+	}
+	header, rows := res.TableFor(pareto)
+	tab := harness.Table{
+		Title:  fmt.Sprintf("%s — Pareto frontier (%d of %d points)", res.Title(), len(pareto), len(res.Points)),
+		Header: header,
+		Rows:   rows,
+		Notes: []string{
+			"objectives: min gc-ovh, min wear-max, min p99-write, max retention",
+		},
+	}
+	fmt.Println(tab.Render())
+
+	if *out != "" {
+		if err := res.Artifact().WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("artifact written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "almasweep: %v\n", err)
+	os.Exit(1)
+}

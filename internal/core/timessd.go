@@ -244,23 +244,19 @@ type TimeSSD struct {
 
 var _ ftl.Device = (*TimeSSD)(nil)
 
-// New builds a TimeSSD over a fresh flash array.
+// New builds a TimeSSD over a fresh flash array. The configuration must
+// pass Config.Validate — the one validation surface shared with parsed
+// and sweep-generated configs.
 func New(cfg Config) (*TimeSSD, error) {
+	if cfg.CohortSegments < 1 {
+		cfg.CohortSegments = 1 // historical leniency: zero means "one cohort"
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	b, err := ftl.NewBase(cfg.FTL)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.MinRetention < 0 {
-		return nil, errors.New("timessd: negative minimum retention")
-	}
-	if cfg.NFixed < 1 {
-		return nil, errors.New("timessd: NFixed must be at least 1")
-	}
-	if cfg.TH <= 0 {
-		return nil, errors.New("timessd: TH must be positive")
-	}
-	if cfg.CohortSegments < 1 {
-		cfg.CohortSegments = 1
 	}
 	t := &TimeSSD{
 		Base:     b,

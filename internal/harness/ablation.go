@@ -274,59 +274,6 @@ func AblationMapCache(c Config) (*Table, error) {
 	return t, nil
 }
 
-// Experiment names accepted by Run.
-var experiments = map[string]func(Config) (*Table, error){
-	"fig6":              Figure6,
-	"fig7":              Figure7,
-	"fig8":              Figure8,
-	"fig9a":             Figure9IOZone,
-	"fig9b":             Figure9OLTP,
-	"fig10":             Figure10,
-	"fig11":             Figure11,
-	"table3":            Table3,
-	"ablation-compress": AblationCompression,
-	"ablation-group":    AblationGroupSize,
-	"ablation-th":       AblationThreshold,
-	"ablation-bound":    AblationMinRetention,
-	"ablation-mapcache": AblationMapCache,
-	"ablation-wear":     AblationWear,
-	"scaling":           ArrayScaling,
-	"obs":               ObsReport,
-	"crashsweep":        CrashSweep,
-	"service":           ServiceFleet,
-}
-
-// Names returns the experiment identifiers in run order.
-func Names() []string {
-	return []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "table3",
-		"ablation-compress", "ablation-group", "ablation-th", "ablation-bound", "ablation-mapcache", "ablation-wear",
-		"scaling", "obs", "crashsweep", "service"}
-}
-
-// Run executes one named experiment. fig6/fig7 share their sweep when run
-// through RunAll.
-func Run(name string, c Config) (*Table, error) {
-	fn, ok := experiments[name]
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Names())
-	}
-	return fn(c)
-}
-
-// RunAll executes every experiment and returns the tables in order.
-func RunAll(c Config) ([]*Table, error) {
-	var out []*Table
-	f6, f7, err := Figures6And7(c)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, f6, f7)
-	for _, name := range Names()[2:] {
-		t, err := Run(name, c)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		out = append(out, t)
-	}
-	return out, nil
-}
+// Experiment dispatch lives in registry.go: every experiment — the
+// figures and ablations above included — registers itself with
+// harness.Register and is reachable only through the registry.

@@ -70,6 +70,14 @@ type Config struct {
 	ServiceOps     int // pages each client writes/reads per generation
 	ServiceShards  int // array shards under the service
 	ServiceVolumes int // volumes the clients are partitioned across
+
+	// Design-space sweep (sweep experiment): the default grid truncated
+	// to this many values per axis (2..4 — 16 to 256 points), and the
+	// per-point workload length. cmd/almasweep drives the same engine
+	// with arbitrary spec files.
+	SweepAxisValues int
+	SweepDays       int
+	SweepReqPerDay  int
 }
 
 // Quick returns a configuration sized for tests and benchmarks.
@@ -85,27 +93,30 @@ func Quick() Config {
 	// its 1 TB board. Overdriving a small simulated device pushes TimeSSD
 	// into a retention-thrash regime the paper never measures.
 	return Config{
-		Flash:          fc,
-		Seed:           1,
-		MinRetention:   6 * vclock.Hour,
-		ReqPerDay:      250,
-		Days:           7,
-		Usages:         []float64{0.5, 0.8},
-		Fig8MSRLens:    []int{28, 42, 56},
-		Fig8FIULens:    []int{20, 30, 40},
-		IOZoneOps:      400,
-		PostMarkTxns:   300,
-		OLTPTxns:       200,
-		OLTPTablePages: 256,
-		RansomScale:    0.25,
-		Fig11Commits:   60,
-		Fig11Threads:   []int{1, 2, 4},
-		CrashSeeds:     8,
-		CrashCuts:      2,
-		ServiceClients: 2048,
-		ServiceOps:     4,
-		ServiceShards:  4,
-		ServiceVolumes: 8,
+		Flash:           fc,
+		Seed:            1,
+		MinRetention:    6 * vclock.Hour,
+		ReqPerDay:       250,
+		Days:            7,
+		Usages:          []float64{0.5, 0.8},
+		Fig8MSRLens:     []int{28, 42, 56},
+		Fig8FIULens:     []int{20, 30, 40},
+		IOZoneOps:       400,
+		PostMarkTxns:    300,
+		OLTPTxns:        200,
+		OLTPTablePages:  256,
+		RansomScale:     0.25,
+		Fig11Commits:    60,
+		Fig11Threads:    []int{1, 2, 4},
+		CrashSeeds:      8,
+		CrashCuts:       2,
+		ServiceClients:  2048,
+		ServiceOps:      4,
+		ServiceShards:   4,
+		ServiceVolumes:  8,
+		SweepAxisValues: 2,
+		SweepDays:       2,
+		SweepReqPerDay:  150,
 	}
 }
 
@@ -124,27 +135,30 @@ func Standard() Config {
 	// in a permanently-packed device (that regime belongs to the
 	// bound/threshold ablations).
 	return Config{
-		Flash:          fc,
-		Seed:           1,
-		MinRetention:   3 * vclock.Day,
-		ReqPerDay:      1200,
-		Days:           28,
-		Usages:         []float64{0.5, 0.8},
-		Fig8MSRLens:    []int{28, 35, 42, 49, 56, 63},
-		Fig8FIULens:    []int{20, 25, 30, 35, 40},
-		IOZoneOps:      4000,
-		PostMarkTxns:   3000,
-		OLTPTxns:       2000,
-		OLTPTablePages: 2048,
-		RansomScale:    1.0,
-		Fig11Commits:   600,
-		Fig11Threads:   []int{1, 2, 4},
-		CrashSeeds:     32,
-		CrashCuts:      3,
-		ServiceClients: 4096,
-		ServiceOps:     8,
-		ServiceShards:  8,
-		ServiceVolumes: 16,
+		Flash:           fc,
+		Seed:            1,
+		MinRetention:    3 * vclock.Day,
+		ReqPerDay:       1200,
+		Days:            28,
+		Usages:          []float64{0.5, 0.8},
+		Fig8MSRLens:     []int{28, 35, 42, 49, 56, 63},
+		Fig8FIULens:     []int{20, 25, 30, 35, 40},
+		IOZoneOps:       4000,
+		PostMarkTxns:    3000,
+		OLTPTxns:        2000,
+		OLTPTablePages:  2048,
+		RansomScale:     1.0,
+		Fig11Commits:    600,
+		Fig11Threads:    []int{1, 2, 4},
+		CrashSeeds:      32,
+		CrashCuts:       3,
+		ServiceClients:  4096,
+		ServiceOps:      8,
+		ServiceShards:   8,
+		ServiceVolumes:  16,
+		SweepAxisValues: 4,
+		SweepDays:       4,
+		SweepReqPerDay:  600,
 	}
 }
 
@@ -159,17 +173,28 @@ type Table struct {
 // AddRow appends a row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render formats the table as aligned monospace text.
+// Render formats the table as aligned monospace text. Ragged rows are
+// legal: column widths cover the widest row, rows wider than the header
+// render their extra cells, and a zero-row (or even headerless) table
+// renders its title and notes without panicking — experiment code may
+// legitimately produce an empty table (e.g. a sweep whose every point was
+// already checkpointed into another artifact).
 func (t *Table) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", t.Title)
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -43,6 +43,39 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableRenderZeroRows(t *testing.T) {
+	tab := &Table{Title: "empty", Header: []string{"col-a", "col-b"}, Notes: []string{"nothing ran"}}
+	out := tab.Render()
+	for _, want := range []string{"empty\n", "col-a", "col-b", "note: nothing ran"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Entirely empty table: title only, no panic.
+	bare := &Table{Title: "bare"}
+	if got := bare.Render(); !strings.HasPrefix(got, "bare\n") {
+		t.Fatalf("bare render: %q", got)
+	}
+}
+
+func TestTableRenderRagged(t *testing.T) {
+	tab := &Table{Title: "ragged", Header: []string{"a", "b"}}
+	tab.AddRow("only-one")
+	tab.AddRow("1", "2", "overflow-cell")
+	tab.AddRow()
+	out := tab.Render()
+	for _, want := range []string{"only-one", "overflow-cell", "1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: the overflow column's width must cover its widest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
 func TestFigures6And7(t *testing.T) {
 	c := tiny()
 	f6, f7, err := Figures6And7(c)
@@ -362,12 +395,63 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestNamesCoverExperiments(t *testing.T) {
-	if len(Names()) != len(experiments) {
-		t.Fatalf("Names() has %d entries, experiments map %d", len(Names()), len(experiments))
+	names := Names()
+	if len(names) < 18 {
+		t.Fatalf("registry suspiciously small: %d experiments", len(names))
 	}
-	for _, n := range Names() {
-		if _, ok := experiments[n]; !ok {
-			t.Fatalf("%q not in experiments", n)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q in Names()", n)
+		}
+		seen[n] = true
+		e, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("%q in Names() but not resolvable via Lookup", n)
+		}
+		if e.Name() != n {
+			t.Fatalf("experiment registered as %q reports Name() %q", n, e.Name())
 		}
 	}
+	// The full built-in suite must be reachable through the registry.
+	for _, n := range []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+		"table3", "ablation-compress", "ablation-group", "ablation-th", "ablation-bound",
+		"ablation-mapcache", "ablation-wear", "scaling", "obs", "crashsweep", "service", "sweep"} {
+		if !seen[n] {
+			t.Fatalf("built-in experiment %q missing from registry", n)
+		}
+	}
+}
+
+// TestRegistryDrivesCustomExperiments is the API-redesign contract: an
+// experiment registered at run time is immediately enumerable and
+// runnable exactly like the built-ins.
+func TestRegistryDrivesCustomExperiments(t *testing.T) {
+	RegisterFunc("test-custom", func(c Config) (*Table, error) {
+		tab := &Table{Title: "custom", Header: []string{"k"}}
+		tab.AddRow("v")
+		return tab, nil
+	})
+	found := false
+	for _, n := range Names() {
+		if n == "test-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered experiment missing from Names()")
+	}
+	tab, err := Run("test-custom", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "v" {
+		t.Fatalf("custom experiment table mangled: %+v", tab)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	RegisterFunc("test-custom", func(c Config) (*Table, error) { return &Table{}, nil })
 }

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+
+	"almanac/internal/core"
+	"almanac/internal/ftl"
+	"almanac/internal/sweep"
+)
+
+// sweepExperiment runs the design-space exploration engine as a harness
+// experiment: the default grid over the Config's device geometry, with
+// the worker pool shared through Config.Workers. Every metric the sweep
+// extracts is virtual-time-derived, so — like the figure experiments and
+// unlike scaling/obs — the rendered table is byte-identical at any
+// worker count and participates in TestParallelMatchesSerial.
+type sweepExperiment struct{}
+
+func (sweepExperiment) Name() string { return "sweep" }
+
+func (sweepExperiment) Run(c Config, t *Table) error {
+	spec := sweep.DefaultSpec(c.Seed, c.SweepAxisValues, c.SweepDays, c.SweepReqPerDay)
+	base := core.DefaultConfig(ftl.WithFlash(c.Flash))
+	base.MinRetention = c.MinRetention
+	eng := &sweep.Engine{Spec: spec, Base: base, Workers: c.Workers}
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	pareto := res.Pareto()
+	header, rows := res.TableFor(pareto)
+	t.Title = res.Title()
+	t.Header = header
+	t.Rows = rows
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Pareto frontier: %d of %d design points are non-dominated (objectives: min gc-ovh, min wear-max, min p99-write, max retention)", len(pareto), len(res.Points)),
+		"run the full space with cmd/almasweep: larger grids, LHS sampling, checkpoint/resume, committed SWEEP_N.json artifacts")
+	return nil
+}
+
+func init() { Register("sweep", sweepExperiment{}) }

@@ -73,6 +73,7 @@ func DefaultRules() []Rule {
 		NewCheckedErr(),
 		NewMapOrder(),
 		NewFaultPlan(),
+		NewSweepSpec(),
 		NewAllowReason(),
 	}
 }

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SweepSpec forbids ad-hoc construction of sweep.Spec and sweep.Axis
+// composite literals outside the layers that legitimately author
+// design-space specifications: internal/sweep itself (the parser and the
+// default-grid presets) and internal/harness (the "sweep" experiment).
+// Everywhere else a spec must come through sweep.Parse — the spec text
+// is then serialisable, embedded in SWEEP_N.json artifacts, and
+// validated in one place, exactly the discipline faultplan enforces for
+// fault schedules. Consuming a parsed spec (sweep.Engine, Points,
+// tables) is fine anywhere; conjuring one is not.
+//
+// Test files are exempt by construction (the loader analyzes only
+// non-test files), and cmd/ sits outside the internal scope — the
+// almasweep CLI reads spec files rather than building literals anyway.
+type SweepSpec struct {
+	// Module is the module path prefix; empty selects "almanac".
+	Module string
+}
+
+// NewSweepSpec returns the rule in production configuration.
+func NewSweepSpec() *SweepSpec { return &SweepSpec{} }
+
+func (r *SweepSpec) ID() string { return "sweepspec" }
+
+func (r *SweepSpec) Doc() string {
+	return "sweep.Spec/sweep.Axis literals only in internal/sweep, internal/harness and tests; build specs with sweep.Parse"
+}
+
+func (r *SweepSpec) Check(p *Package) []Finding {
+	mod := r.Module
+	if mod == "" {
+		mod = "almanac"
+	}
+	switch p.ImportPath {
+	case mod + "/internal/sweep", mod + "/internal/harness":
+		return nil
+	}
+	if !strings.HasPrefix(p.ImportPath, mod+"/internal/") {
+		return nil
+	}
+	sweepPath := mod + "/internal/sweep"
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[ast.Expr(cl)]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != sweepPath {
+				return true
+			}
+			name := named.Obj().Name()
+			if name != "Spec" && name != "Axis" {
+				return true
+			}
+			out = append(out, finding(p, cl, r.ID(),
+				fmt.Sprintf("sweep.%s literal constructed in %s", name, p.ImportPath),
+				"build sweep specs with sweep.Parse so they are serialisable and CI-replayable; literals belong to internal/sweep, internal/harness and tests"))
+			return true
+		})
+	}
+	return out
+}

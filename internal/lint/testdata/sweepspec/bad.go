@@ -1,0 +1,33 @@
+// Package sweepspecbad is a golden-corpus package for the sweepspec
+// rule: design-space specs must come from sweep.Parse outside
+// internal/sweep, internal/harness and test files.
+package sweepspecbad
+
+import "almanac/internal/sweep"
+
+// AdHocSpec conjures a sweep specification from literals: forbidden
+// here — the spec would never round-trip through the artifact text.
+func AdHocSpec() *sweep.Spec {
+	ax := sweep.Axis{ // want sweepspec
+		Knob:   "op",
+		Values: []string{"0.1", "0.2"},
+	}
+	s := sweep.Spec{ // want sweepspec
+		Name:     "rogue",
+		Sampling: "grid",
+	}
+	s.Axes = append(s.Axes, ax)
+	return &s
+}
+
+// Parsed is the blessed path: specs come from text, engines may be
+// built anywhere.
+func Parsed() (*sweep.Spec, error) {
+	return sweep.Parse("sweep ok\naxis op 0.1 0.2\n")
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed() sweep.Axis {
+	//almalint:allow sweepspec reason: corpus demonstration of the escape hatch
+	return sweep.Axis{Knob: "th", Values: []string{"0.1"}}
+}

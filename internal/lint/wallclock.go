@@ -31,7 +31,7 @@ var simPackages = map[string]bool{
 	"bloom": true, "delta": true, "array": true, "fsim": true,
 	"trace": true, "apps": true, "ransom": true, "fault": true,
 	"harness": true, "almaproto": true, "timekits": true, "lzf": true,
-	"service": true,
+	"service": true, "sweep": true,
 }
 
 var wallclockFuncs = map[string]bool{

@@ -1,0 +1,39 @@
+package sweep
+
+// Default grid presets: the four axes the paper's own evaluation varies
+// implicitly — slack space (OP), the retention bound, Bloom segmentation
+// granularity, and the Eq. 1 threshold — each with up to four values
+// spanning the regime the ablations identified as interesting. Four
+// values on four axes is the 256-point grid `almasweep` runs by default.
+var defaultAxisPresets = []Axis{
+	{Knob: "op", Values: []string{"0.07", "0.15", "0.28", "0.45"}},
+	{Knob: "minret", Values: []string{"2h0m0s", "6h0m0s", "12h0m0s", "24h0m0s"}},
+	{Knob: "bfgroup", Values: []string{"4", "16", "64", "256"}},
+	{Knob: "th", Values: []string{"0.05", "0.1", "0.2", "0.4"}},
+}
+
+// DefaultSpec builds the standard exploration grid: the four preset axes
+// truncated to valuesPerAxis values each (clamped to [2,4]), over the
+// given per-point workload length. valuesPerAxis=4 yields the full
+// 256-point design.
+func DefaultSpec(seed int64, valuesPerAxis, days, reqPerDay int) *Spec {
+	if valuesPerAxis < 2 {
+		valuesPerAxis = 2
+	}
+	if valuesPerAxis > 4 {
+		valuesPerAxis = 4
+	}
+	s := &Spec{
+		Name:      "default-grid",
+		Seed:      seed,
+		Sampling:  "grid",
+		Workload:  "src",
+		Usage:     0.8,
+		Days:      days,
+		ReqPerDay: reqPerDay,
+	}
+	for _, a := range defaultAxisPresets {
+		s.Axes = append(s.Axes, Axis{Knob: a.Knob, Values: a.Values[:valuesPerAxis]})
+	}
+	return s
+}
