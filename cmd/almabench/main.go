@@ -5,17 +5,20 @@
 //
 // Usage:
 //
-//	almabench [-out BENCH_6.json] [-figures] [-runs 3] [-check BENCH_6.json] [-tolerance 0.30]
+//	almabench [-out BENCH_9.json] [-figures] [-runs 3] [-check BENCH_9.json] [-tolerance 0.30]
 //
 // By default only the micro-benchmarks run (CI smoke); -figures adds the
 // full figure/table regeneration benchmarks. Each benchmark is run -runs
 // times and the fastest ns/op is kept — the minimum is the standard
 // noise-floor estimator on a shared host.
 //
-// With -check, the run is compared against a baseline JSON: a benchmark
-// whose ns/op or allocs/op exceeds baseline×(1+tolerance) fails the check.
-// ns/op is only comparable on the same host class as the baseline;
-// allocs/op is host-independent and is the robust cross-host signal.
+// With -check, the run is compared against a baseline JSON and a full
+// before/after table (baseline ns/op, new ns/op, delta %, allocs) is
+// rendered so a regression is diagnosable straight from the job log. A
+// benchmark whose ns/op exceeds baseline×(1+tolerance) fails the check;
+// allocs/op is gated strictly — any increase over the baseline fails,
+// because allocation counts are deterministic and host-independent while
+// ns/op is only comparable on the same host class as the baseline.
 package main
 
 import (
@@ -44,7 +47,7 @@ type trajectory struct {
 const schema = "almanac-bench/v1"
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path (empty = stdout only)")
+	out := flag.String("out", "BENCH_9.json", "output JSON path (empty = stdout only)")
 	figures := flag.Bool("figures", false, "also run the figure/table regeneration benchmarks (slow)")
 	runs := flag.Int("runs", 3, "repetitions per benchmark; the fastest ns/op is kept")
 	check := flag.String("check", "", "baseline JSON to compare against; regression fails the run")
@@ -115,9 +118,12 @@ func measure(s bench.Spec, runs int) result {
 }
 
 // checkBaseline compares the fresh run against a committed trajectory
-// point, failing on ns/op or allocs/op regressions beyond the tolerance.
-// Benchmarks absent from either side are skipped, so a micro-only smoke
-// run can be checked against a full baseline.
+// point, rendering a full before/after table either way so the job log
+// shows where the time went, not just that a bar was tripped. ns/op fails
+// beyond the tolerance; allocs/op is strict — any increase fails, since
+// allocation counts are deterministic and host-independent. Benchmarks
+// absent from either side are skipped, so a micro-only smoke run can be
+// checked against a full baseline.
 func checkBaseline(traj trajectory, path string, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -131,29 +137,42 @@ func checkBaseline(traj trajectory, path string, tolerance float64) error {
 	for _, r := range base.Benchmarks {
 		byName[r.Name] = r
 	}
+	fmt.Printf("\n%-24s %14s %14s %8s %14s\n",
+		"benchmark", "baseline ns/op", "new ns/op", "delta", "allocs b->n")
 	var failures []string
 	for _, r := range traj.Benchmarks {
 		b, ok := byName[r.Name]
 		if !ok {
+			fmt.Printf("%-24s %14s %14.1f %8s %9s-> %-3d\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp)
 			continue
 		}
-		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tolerance) {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.1f ns/op vs baseline %.1f (+%.0f%%)",
-				r.Name, r.NsPerOp, b.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100))
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (r.NsPerOp/b.NsPerOp - 1) * 100
 		}
-		if r.AllocsPerOp > b.AllocsPerOp &&
-			float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance)+0.5 {
+		mark := ""
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			mark = "  << ns/op regression"
 			failures = append(failures, fmt.Sprintf(
-				"%s: %d allocs/op vs baseline %d",
+				"%s: %.1f ns/op vs baseline %.1f (%+.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, delta))
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			mark += "  << allocs/op regression"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (strict gate)",
 				r.Name, r.AllocsPerOp, b.AllocsPerOp))
 		}
+		fmt.Printf("%-24s %14.1f %14.1f %+7.1f%% %9d-> %-3d%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, b.AllocsPerOp, r.AllocsPerOp, mark)
 	}
+	fmt.Println()
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "regression: %s\n", f)
 		}
-		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% tolerance", len(failures), tolerance*100)
+		return fmt.Errorf("%d benchmark regression(s) (ns/op tolerance %.0f%%, allocs strict)", len(failures), tolerance*100)
 	}
 	return nil
 }

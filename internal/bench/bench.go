@@ -27,6 +27,7 @@ func Micro() []Spec {
 		{"TimeSSDRead", TimeSSDRead},
 		{"VersionsQuery", VersionsQuery},
 		{"ServiceOpsPerSec", ServiceOpsPerSec},
+		{"SimOpsPerSecond", SimOpsPerSecond},
 	}
 }
 

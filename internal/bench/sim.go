@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"almanac/internal/core"
+	"almanac/internal/flash"
+	"almanac/internal/ftl"
+	"almanac/internal/trace"
+	"almanac/internal/vclock"
+)
+
+// simDevice builds the SimOpsPerSecond device: 512-byte sectors (the
+// NVMe LBA size) over the default channel fan-out. Small pages keep the
+// per-op byte work (copies, XOR, compression) proportionally small, so
+// the benchmark weighs exactly what a million-IOPS core is about — the
+// per-op constant factor of the event loop, mapping tables and version
+// store — rather than host memory bandwidth.
+func simDevice(b *testing.B) *core.TimeSSD {
+	b.Helper()
+	fc := flash.DefaultConfig()
+	fc.PageSize = 512
+	fc.PagesPerBlock = 128
+	fc.BlocksPerPlane = 128
+	cfg := core.DefaultConfig(ftl.WithFlash(fc))
+	cfg.MinRetention = 0
+	d, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// SimOpsPerSecond is the end-to-end simulator throughput benchmark: a
+// mixed host workload (8 writes : 7 reads : 1 version query per 16 ops)
+// driven through core.TimeSSD. The write stream covers half the logical
+// space — the same capacity pressure TimeSSDWrite applies — so the
+// adaptive retention window, GC and the version store all reach steady
+// state instead of growing with b.N. All page content is generated
+// before the timer starts, so the number measures the simulator hot
+// path — FTL mapping, NAND state, version retention, GC — rather than
+// workload synthesis. The inverse of ns/op is the headline "simulated
+// IOPS" figure tracked by BENCH_N.json.
+func SimOpsPerSecond(b *testing.B) {
+	d := simDevice(b)
+	const (
+		templates = 512 // distinct page lineages shared across the LPA space
+		rounds    = 6   // pre-generated successive versions per lineage
+	)
+	workSet := uint64(d.LogicalPages()) / 2
+	gen := trace.NewContentGen(d.PageSize(), trace.ContentSimilar, 1)
+	corpus := make([][][]byte, rounds)
+	for r := range corpus {
+		corpus[r] = make([][]byte, templates)
+	}
+	for k := 0; k < templates; k++ {
+		for r := 0; r < rounds; r++ {
+			corpus[r][k] = append([]byte(nil), gen.NextVersion(uint64(k))...)
+		}
+	}
+	content := func(round int, lpa uint64) []byte {
+		return corpus[round%rounds][lpa%templates]
+	}
+	at := vclock.Time(0)
+	// Prefill the working set so every read and version query hits live
+	// data and the device starts the timed loop under GC pressure.
+	for lpa := uint64(0); lpa < workSet; lpa++ {
+		done, err := d.Write(lpa, content(0, lpa), at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = done.Add(vclock.Microsecond)
+	}
+	b.SetBytes(int64(d.PageSize()))
+	b.ResetTimer()
+	var writes, reads, queries int
+	for i := 0; i < b.N; i++ {
+		switch {
+		case i%16 == 15: // version query
+			lpa := uint64(queries) % workSet
+			vers, _, err := d.Versions(lpa, at)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(vers) == 0 {
+				b.Fatal("no versions")
+			}
+			queries++
+		case i%2 == 0: // write
+			lpa := uint64(writes) % workSet
+			done, err := d.Write(lpa, content(1+writes/int(workSet), lpa), at)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at = done.Add(vclock.Microsecond)
+			writes++
+		default: // read
+			lpa := uint64(reads) % workSet
+			if _, _, err := d.Read(lpa, at); err != nil {
+				b.Fatal(err)
+			}
+			reads++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

@@ -103,6 +103,44 @@ func (f *Filter) Contains(key uint64) bool {
 	return hit
 }
 
+// AddIfMissing inserts key unless it already tests present, and reports
+// whether it tested present beforehand. It is Contains followed by Add with
+// a single hash pass — bit positions are computed once — so results and bit
+// patterns are identical to the two-call sequence.
+func (f *Filter) AddIfMissing(key uint64) bool {
+	h1 := splitmix64(key)
+	h2 := splitmix64(h1) | 1
+	var pos [16]uint64
+	hit := true
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.mBits
+		pos[i] = bit
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			hit = false
+			for j := i + 1; j < f.k; j++ {
+				pos[j] = (h1 + uint64(j)*h2) % f.mBits
+			}
+			break
+		}
+	}
+	if invariant.Enabled {
+		if !hit {
+			// Same audit as Contains: a recorded key must never test absent.
+			_, recorded := f.debugKeys[key]
+			invariant.Assert(!recorded, "bloom false negative: recorded key %d tests absent", key)
+		}
+		f.recordDebug(key)
+	}
+	if hit {
+		return true
+	}
+	for i := 0; i < f.k; i++ {
+		f.bits[pos[i]/64] |= 1 << (pos[i] % 64)
+	}
+	f.n++
+	return false
+}
+
 // recordDebug notes a key the filter has answered for (almanacdebug only).
 func (f *Filter) recordDebug(key uint64) {
 	if f.debugKeys == nil {
@@ -124,7 +162,27 @@ type Chain struct {
 	capPerBF int     // insertions per filter before sealing
 	fp       float64 // target false-positive rate
 	group    uint64  // pages per invalidation group (N, §3.5)
+	dropped  int     // filters retired so far; dropped+i is filter i's stable id
+	memo     []memoEntry
 }
+
+// memoEntry caches one group key's newest chain probe result. sHit is the
+// stable id of the filter that answered positive (memoEmpty when nothing is
+// cached, memoMiss when a full-chain miss is cached); sFrontier is the
+// stable id of the filter that was active when the probe ran. Every probed
+// filter below sFrontier was sealed at probe time — sealed filters never
+// gain bits, so those misses hold forever and only filters at or above
+// sFrontier ever need re-probing. A cached miss needs no drop validation:
+// dropping filters can only remove hits, never create them.
+type memoEntry struct {
+	sHit      int32
+	sFrontier int32
+}
+
+const (
+	memoEmpty = -1 // no cached probe for this key
+	memoMiss  = -2 // cached full-chain miss below sFrontier
+)
 
 // NewChain creates a chain with one active filter. capPerBF is the number
 // of group insertions a filter absorbs before a new segment starts; group
@@ -149,19 +207,16 @@ func (c *Chain) GroupOf(ppa uint64) uint64 { return ppa / c.group }
 func (c *Chain) Invalidate(ppa uint64, now vclock.Time) {
 	active := c.filters[len(c.filters)-1]
 	key := c.GroupOf(ppa)
-	if active.Contains(key) {
-		// The whole group is already marked in this segment; the paper's
-		// grouping makes this the common case for sequential invalidation.
-		// Under almanacdebug the key is still recorded: if it hit as a
-		// false positive of the active filter, the invalidation would be
-		// silently attributed to earlier bits — the audit keeps it honest
-		// (the bits never clear, so Contains must stay true).
-		if invariant.Enabled {
-			active.recordDebug(key)
-		}
+	// AddIfMissing is Contains+Add in one hash pass. When the whole group is
+	// already marked in this segment (the paper's grouping makes this the
+	// common case for sequential invalidation) nothing is inserted; under
+	// almanacdebug the key is still recorded either way: if it hit as a
+	// false positive of the active filter, the invalidation would be
+	// silently attributed to earlier bits — the audit keeps it honest
+	// (the bits never clear, so Contains must stay true).
+	if active.AddIfMissing(key) {
 		return
 	}
-	active.Add(key)
 	if active.n >= c.capPerBF {
 		active.Sealed = now
 		c.filters = append(c.filters, NewFilter(c.capPerBF, c.fp, now))
@@ -183,11 +238,62 @@ func (c *Chain) SealActive(now vclock.Time) bool {
 	return true
 }
 
+// EnableMemo arms an exact positive-probe cache covering PPAs up to and
+// including maxPPA. Sealed filters are immutable, so a recorded hit (and
+// the misses of every filter sealed when it was recorded) can be replayed
+// without re-hashing; only the filters the cache has not yet seen sealed
+// are re-probed. Results are bit-identical to the uncached probe — the
+// cache trades memory (8 bytes per page group) for skipped hash work.
+func (c *Chain) EnableMemo(maxPPA uint64) {
+	c.memo = make([]memoEntry, c.GroupOf(maxPPA)+1)
+	for i := range c.memo {
+		c.memo[i].sHit = memoEmpty
+	}
+}
+
 // Contains reports whether ppa hits any filter in the chain. Filters are
 // probed in reverse time order (newest first) as §3.6 prescribes; the index
 // of the hit filter (0 = oldest) and true are returned, or -1 and false.
 func (c *Chain) Contains(ppa uint64) (int, bool) {
 	key := c.GroupOf(ppa)
+	if c.memo == nil || key >= uint64(len(c.memo)) {
+		return c.probe(key)
+	}
+	e := &c.memo[key]
+	frontier := int32(c.dropped + len(c.filters) - 1)
+	if e.sHit == memoEmpty {
+		i, ok := c.probe(key)
+		if ok {
+			e.sHit = int32(c.dropped + i)
+		} else {
+			e.sHit = memoMiss
+		}
+		e.sFrontier = frontier
+		return i, ok
+	}
+	// A cached answer covers every filter that was sealed when it was
+	// recorded: those either missed then (and can never gain the key) or
+	// produced the recorded hit. Re-probe only the filters not yet seen
+	// sealed — a hit there supersedes the cached answer; otherwise the
+	// cached hit stands if its filter is still live (a hit whose filter was
+	// dropped leaves only sealed misses below the frontier, i.e. a miss).
+	for i := len(c.filters) - 1; i >= 0 && c.dropped+i >= int(e.sFrontier); i-- {
+		if c.filters[i].Contains(key) {
+			e.sHit = int32(c.dropped + i)
+			e.sFrontier = frontier
+			return i, true
+		}
+	}
+	e.sFrontier = frontier
+	if int(e.sHit) < c.dropped { // miss sentinel or dropped hit
+		e.sHit = memoMiss
+		return -1, false
+	}
+	return int(e.sHit) - c.dropped, true
+}
+
+// probe is the uncached newest-first scan over every live filter.
+func (c *Chain) probe(key uint64) (int, bool) {
 	for i := len(c.filters) - 1; i >= 0; i-- {
 		if c.filters[i].Contains(key) {
 			return i, true
@@ -218,6 +324,7 @@ func (c *Chain) DropOldest() bool {
 		return false
 	}
 	c.filters = c.filters[1:]
+	c.dropped++
 	return true
 }
 

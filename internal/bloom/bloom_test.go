@@ -161,3 +161,41 @@ func TestChainSizeBytes(t *testing.T) {
 		t.Fatal("chain reports zero size")
 	}
 }
+
+// TestChainMemoMatchesUncached drives a memoized chain and an uncached twin
+// through an identical randomized schedule of invalidations, probes, seals
+// and drops, asserting every Contains answer (index and verdict) is
+// bit-identical. The memo is pure host-side acceleration; any divergence
+// here would change simulated GC and query behaviour.
+func TestChainMemoMatchesUncached(t *testing.T) {
+	const maxPPA = 1 << 12
+	rng := rand.New(rand.NewSource(7))
+	memo := NewChain(32, 0.01, 4, 0)
+	memo.EnableMemo(maxPPA)
+	plain := NewChain(32, 0.01, 4, 0)
+	now := vclock.Time(0)
+	for step := 0; step < 200000; step++ {
+		now = now.Add(vclock.Microsecond)
+		switch op := rng.Intn(10); {
+		case op < 4: // invalidate
+			ppa := uint64(rng.Intn(maxPPA))
+			memo.Invalidate(ppa, now)
+			plain.Invalidate(ppa, now)
+		case op < 9: // probe (repeats exercise warm memo entries)
+			ppa := uint64(rng.Intn(maxPPA))
+			mi, mok := memo.Contains(ppa)
+			pi, pok := plain.Contains(ppa)
+			if mi != pi || mok != pok {
+				t.Fatalf("step %d ppa %d: memo (%d,%v) != uncached (%d,%v)", step, ppa, mi, mok, pi, pok)
+			}
+		case op == 9 && rng.Intn(4) == 0: // occasionally shorten the window
+			memo.DropOldest()
+			plain.DropOldest()
+		default:
+			if rng.Intn(8) == 0 {
+				memo.SealActive(now)
+				plain.SealActive(now)
+			}
+		}
+	}
+}

@@ -36,3 +36,69 @@ func TestReadAllocs(t *testing.T) {
 		t.Fatalf("Read allocates %.2f times per call in steady state, want 0", n)
 	}
 }
+
+// TestVersionsAllocs pins the steady-state allocation budget of the version
+// query path at exactly one allocation per call: the returned []Version
+// slice, which the API contract hands to the caller. Version.Data entries
+// alias device storage (see Versions), so the payload bytes cost nothing.
+func TestVersionsAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("almanacdebug shadow assertions allocate")
+	}
+	d := newTiny(t, nil)
+	at := vclock.Time(0)
+	const pages = 8
+	for round := 0; round < 4; round++ {
+		for lpa := uint64(0); lpa < pages; lpa++ {
+			at = at.Add(vclock.Second)
+			done, err := d.Write(lpa, versionPage(d, lpa, round), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = done
+		}
+	}
+	lpa := uint64(0)
+	n := testing.AllocsPerRun(200, func() {
+		if _, _, err := d.Versions(lpa, at); err != nil {
+			t.Fatal(err)
+		}
+		lpa = (lpa + 1) % pages
+	})
+	if n > 1 {
+		t.Fatalf("Versions allocates %.2f times per call in steady state, want <= 1 (the result slice)", n)
+	}
+}
+
+// TestRefCacheSteadyStateAllocs pins the decoded-version cache at zero
+// heap traffic once warm: hits touch nothing, and an eviction-refill cycle
+// with same-sized payloads reuses the evicted entry's buffer capacity, its
+// arena slot (via the free list), and the byKey map's deleted cells.
+func TestRefCacheSteadyStateAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("almanacdebug shadow assertions allocate")
+	}
+	c := newRefCache(4, 64)
+	buf := make([]byte, 512)
+	for i := uint64(0); i < 4; i++ {
+		c.put(i, vclock.Time(i), buf)
+	}
+	i := uint64(0)
+	n := testing.AllocsPerRun(200, func() {
+		if got := c.get(i, vclock.Time(i)); got == nil {
+			t.Fatal("unexpected miss on warm cache")
+		}
+		i = (i + 1) % 4
+	})
+	if n != 0 {
+		t.Fatalf("warm refcache hit allocates %.2f times per call, want 0", n)
+	}
+	j := uint64(0)
+	n = testing.AllocsPerRun(200, func() {
+		c.put(8+j, vclock.Time(j), buf)
+		j = (j + 1) % 8
+	})
+	if n != 0 {
+		t.Fatalf("refcache eviction cycle allocates %.2f times per put, want 0", n)
+	}
+}

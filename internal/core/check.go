@@ -19,24 +19,29 @@ func (t *TimeSSD) CheckInvariants() error {
 			return fmt.Errorf("timessd: ppa %d is both valid and PRT-reclaimable", ppa)
 		}
 	}
-	// A trimmed LPA has no AMT mapping (the trim record *is* the head).
+	// A trimmed LPA has no AMT mapping (the trim record *is* the head;
+	// head == NullPPA is the absence sentinel of the flat table).
 	for lpa, rec := range t.trimmed {
+		if rec.head == flash.NullPPA {
+			continue
+		}
 		if t.AMT[lpa] != flash.NullPPA {
 			return fmt.Errorf("timessd: lpa %d is both mapped and trimmed", lpa)
-		}
-		if rec.head == flash.NullPPA {
-			return fmt.Errorf("timessd: trim record for lpa %d has no chain head", lpa)
 		}
 	}
 	// Pending deltas must belong to live cohorts, hold strictly older
 	// versions than the live head, and agree with the pending index key.
-	for lpa, p := range t.pending {
+	for i, p := range t.pending {
+		if p.d == nil {
+			continue
+		}
+		lpa := uint64(i)
 		if p.d.LPA != lpa {
 			return fmt.Errorf("timessd: pending index %d holds delta for lpa %d", lpa, p.d.LPA)
 		}
 		found := false
 		for _, seg := range t.cohorts {
-			if seg == p.seg {
+			if seg != nil && seg == p.seg {
 				found = true
 				break
 			}
@@ -54,6 +59,9 @@ func (t *TimeSSD) CheckInvariants() error {
 					lpa, p.d.TS, oob.TS)
 			}
 		}
+		if !t.pendingListed[lpa] {
+			return fmt.Errorf("timessd: pending delta for lpa %d missing from the iteration list", lpa)
+		}
 	}
 	// Cohort delta blocks must be live delta blocks in the BST, and no
 	// block may belong to two cohorts (or a cohort and the expired queue).
@@ -69,6 +77,9 @@ func (t *TimeSSD) CheckInvariants() error {
 		return nil
 	}
 	for id, seg := range t.cohorts {
+		if seg == nil {
+			continue
+		}
 		who := fmt.Sprintf("cohort %d", id)
 		if seg.activeBlk >= 0 {
 			if err := claim(seg.activeBlk, who); err != nil {
@@ -97,6 +108,9 @@ func (t *TimeSSD) CheckInvariants() error {
 	// The IMT must point into delta storage (a live delta/raw page) or at
 	// a stale location in a since-erased block — never at live user data.
 	for lpa, ppa := range t.imt {
+		if ppa == flash.NullPPA {
+			continue
+		}
 		oob, err := t.Arr.PeekOOB(ppa)
 		if err != nil {
 			continue // erased with its cohort: a legal stale head

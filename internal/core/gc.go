@@ -25,7 +25,7 @@ const rebuildMarkerLPA = math.MaxUint64 - 1
 
 // bestVictim returns the data block GC would pick next, or -1.
 func (t *TimeSSD) bestVictim() int {
-	return t.VictimBlock(func(blk int) bool { return t.Info[blk].Kind == flash.KindData })
+	return t.VictimBlockOfKind(flash.KindData)
 }
 
 // victimQuality is the minimum number of a block's pages that must be
@@ -135,7 +135,7 @@ func (t *TimeSSD) collectOncePass(at vclock.Time) (vclock.Time, error) {
 		t.GC.Runs++
 		return t.eraseClearing(blk, at)
 	}
-	victim := t.VictimBlock(func(blk int) bool { return t.Info[blk].Kind == flash.KindData })
+	victim := t.VictimBlockOfKind(flash.KindData)
 	if victim < 0 {
 		return at, ftl.ErrDeviceFull
 	}
@@ -187,15 +187,15 @@ func (t *TimeSSD) reclaimDataBlock(blk int, at vclock.Time) (vclock.Time, error)
 // layout stays replay-deterministic.
 func (t *TimeSSD) flushPendingFrom(blk int, at vclock.Time) (vclock.Time, error) {
 	var lpas []uint64
-	for lpa, p := range t.pending {
+	t.forEachPending(func(lpa uint64, p pendingDelta) {
 		if t.Arr.BlockOf(p.src) == blk {
 			lpas = append(lpas, lpa)
 		}
-	}
+	})
 	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
 	for _, lpa := range lpas {
-		p, ok := t.pending[lpa]
-		if !ok {
+		p := t.pending[lpa]
+		if p.d == nil {
 			continue // an earlier flush in this loop already covered it
 		}
 		var err error
@@ -253,7 +253,12 @@ func (t *TimeSSD) compressRetained(ppa flash.PPA, at vclock.Time) (vclock.Time, 
 		t.prt[ppa] = true
 		return at, nil
 	}
-	vers := []chainVersion{{ppa: ppa, lpa: lpa, ts: oob.TS, data: append([]byte(nil), data...), seg: seg}}
+	// Chain-page data can be aliased rather than copied: within this pass
+	// nothing programs over a programmed page (programs land only on erased
+	// pages, and the victim's erase happens after compression finishes), so
+	// the flash-owned bytes are stable until emitDelta consumes them.
+	vers := append(t.gcVers[:0], chainVersion{ppa: ppa, lpa: lpa, ts: oob.TS, data: data, seg: seg})
+	defer func() { t.gcVers = vers[:0] }()
 
 	// Walk the chain below the victim collecting unexpired versions.
 	prevTS := oob.TS
@@ -278,7 +283,7 @@ func (t *TimeSSD) compressRetained(ppa flash.PPA, at vclock.Time) (vclock.Time, 
 			t.prt[cur] = true
 			break
 		}
-		vers = append(vers, chainVersion{ppa: cur, lpa: lpa, ts: o2.TS, data: append([]byte(nil), d2...), seg: s2})
+		vers = append(vers, chainVersion{ppa: cur, lpa: lpa, ts: o2.TS, data: d2, seg: s2})
 		prevTS = o2.TS
 		cur = o2.BackPtr
 	}
@@ -323,15 +328,12 @@ func (t *TimeSSD) emitDelta(v *chainVersion, ref []byte, refTS vclock.Time, at v
 	var err error
 	// Chain-order discipline: if a newer delta for this LPA is still
 	// buffered, it must reach flash before this older one links below it.
-	if p, ok := t.pending[lpa]; ok {
+	if p := t.pending[lpa]; p.d != nil {
 		if at, err = t.flushSegment(p.seg, at); err != nil {
 			return at, err
 		}
 	}
-	prevHead := flash.NullPPA
-	if h, ok := t.imt[lpa]; ok {
-		prevHead = h
-	}
+	prevHead := t.imt[lpa]
 	seg := t.cohortFor(v.seg)
 
 	if !t.cfg.DisableCompression {
@@ -339,7 +341,7 @@ func (t *TimeSSD) emitDelta(v *chainVersion, ref []byte, refTS vclock.Time, at v
 		// right-sized: the payload outlives this call inside the pending
 		// buffer, and sealRetained returns its input unchanged when no
 		// retention key is configured.
-		enc, scratch := delta.Encode(t.encScratch[:0], v.data, ref)
+		enc, scratch := delta.EncodeWith(&t.lzc, t.encScratch[:0], v.data, ref)
 		t.encScratch = scratch[:0]
 		payload := append(make([]byte, 0, len(scratch)), scratch...)
 		t.GC.DeltaOps++
@@ -356,7 +358,7 @@ func (t *TimeSSD) emitDelta(v *chainVersion, ref []byte, refTS vclock.Time, at v
 			if !seg.buf.Add(d) {
 				return at, errors.New("timessd: delta does not fit an empty buffer")
 			}
-			t.pending[lpa] = pendingDelta{d: d, seg: seg, src: v.ppa}
+			t.setPending(lpa, pendingDelta{d: d, seg: seg, src: v.ppa})
 			return at, nil
 		}
 		// Falls through: even compressed it does not fit a packed page.
@@ -382,8 +384,11 @@ func (t *TimeSSD) cohortFor(i int) *segment {
 	}
 	stable := t.droppedSegs + i
 	id := stable / t.cfg.CohortSegments
-	seg, ok := t.cohorts[id]
-	if !ok {
+	for id >= len(t.cohorts) {
+		t.cohorts = append(t.cohorts, nil)
+	}
+	seg := t.cohorts[id]
+	if seg == nil {
 		seg = t.newSegment()
 		t.cohorts[id] = seg
 	}
@@ -412,15 +417,15 @@ func (t *TimeSSD) flushSegment(seg *segment, at vclock.Time) (vclock.Time, error
 		// reached delta storage).
 		for _, d := range ds {
 			if !seg.buf.Add(d) {
-				delete(t.pending, d.LPA)
+				t.clearPending(d.LPA)
 			}
 		}
 		return at, err
 	}
 	for _, d := range ds {
 		t.imt[d.LPA] = ppa
-		if p, ok := t.pending[d.LPA]; ok && p.d == d {
-			delete(t.pending, d.LPA)
+		if t.pending[d.LPA].d == d {
+			t.clearPending(d.LPA)
 		}
 	}
 	t.st.DeltaPagesWritten++
@@ -467,6 +472,9 @@ func (t *TimeSSD) programDeltaPage(seg *segment, data []byte, oob flash.OOB, at 
 // paths use it; normal operation flushes on pressure.
 func (t *TimeSSD) FlushDeltas(at vclock.Time) (vclock.Time, error) {
 	for _, seg := range t.cohorts {
+		if seg == nil {
+			continue
+		}
 		var err error
 		if at, err = t.flushSegment(seg, at); err != nil {
 			return at, err

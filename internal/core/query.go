@@ -24,12 +24,16 @@ const maxTime = vclock.Time(math.MaxInt64)
 // first entry (if any) is the live version; the rest are retained invalid
 // versions recovered through the data-page and delta-page chains (§3.7).
 // Reads are charged to virtual time; done is when the last read completes.
+//
+// Returned Version.Data slices are read-only views that may alias device
+// storage — the same contract as Read — and stay valid until the next
+// mutating operation (Write, Trim, RollBack, Idle) on the device; copy to
+// retain content across mutations.
 func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, error) {
 	if err := t.CheckLPA(lpa); err != nil {
 		return nil, at, err
 	}
-	var out []Version
-	byTS := make(map[vclock.Time][]byte)
+	out := make([]Version, 0, 8)
 	prevTS := maxTime
 
 	// Live head, if the LPA is mapped.
@@ -40,12 +44,10 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 			return nil, at, err
 		}
 		at = done
-		cp := append([]byte(nil), data...)
-		out = append(out, Version{TS: oob.TS, Data: cp, Live: true})
-		byTS[oob.TS] = cp
+		out = append(out, Version{TS: oob.TS, Data: data, Live: true})
 		prevTS = oob.TS
 		cur = oob.BackPtr
-	} else if rec, ok := t.trimmed[lpa]; ok {
+	} else if rec := t.trimmed[lpa]; rec.head != flash.NullPPA {
 		cur = rec.head
 	}
 
@@ -67,9 +69,7 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 		if _, hit := t.chain.Contains(uint64(cur)); !hit {
 			break // expired: outside the retention window
 		}
-		cp := append([]byte(nil), data...)
-		out = append(out, Version{TS: oob.TS, Data: cp})
-		byTS[oob.TS] = cp
+		out = append(out, Version{TS: oob.TS, Data: data})
 		prevTS = oob.TS
 		cur = oob.BackPtr
 	}
@@ -77,15 +77,14 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 	// Delta-page chain: first the (at most one) pending buffered delta,
 	// then the on-flash chain headed by the index mapping table.
 	dcur := flash.NullPPA
-	if p, ok := t.pending[lpa]; ok && p.d.TS < prevTS {
-		if data, hit := t.cachedDecode(p.d, byTS); hit {
+	if p := t.pending[lpa]; p.d != nil && p.d.TS < prevTS {
+		if data, hit := t.cachedDecode(p.d, out); hit {
 			at = t.chargeDecode(p.d.Enc, at)
 			out = append(out, Version{TS: p.d.TS, Data: data})
-			byTS[p.d.TS] = data
 			prevTS = p.d.TS
 			dcur = flash.PPA(p.d.BackPtr)
 		}
-	} else if h, ok := t.imt[lpa]; ok {
+	} else if h := t.imt[lpa]; h != flash.NullPPA {
 		dcur = h
 	}
 
@@ -103,17 +102,21 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 			cp := t.refcache.get(lpa, oob.TS)
 			if cp != nil {
 				if invariant.Enabled && !t.faultsArmed {
-					cold := t.openRetained(oob.LPA, oob.TS, append([]byte(nil), data...))
+					cold := t.openRetained(oob.LPA, oob.TS, data)
 					invariant.Assert(bytes.Equal(cold, cp),
 						"refcache: cached raw version differs from cold decode (lpa %d ts %d)", lpa, oob.TS)
 				}
+				// Copy out: the cache slot can be evicted and its buffer
+				// reused by a later query, which is not a device mutation.
 				cp = append([]byte(nil), cp...)
 			} else {
-				cp = t.openRetained(oob.LPA, oob.TS, append([]byte(nil), data...))
+				// openRetained returns its input unchanged when no retention
+				// key is configured, so cp may alias the flash page — covered
+				// by the read-only until-next-mutation contract above.
+				cp = t.openRetained(oob.LPA, oob.TS, data)
 				t.refcache.put(lpa, oob.TS, cp)
 			}
 			out = append(out, Version{TS: oob.TS, Data: cp})
-			byTS[oob.TS] = cp
 			prevTS = oob.TS
 			dcur = oob.BackPtr
 		case flash.KindDelta:
@@ -121,13 +124,12 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 			if found, err := delta.FindInPage(data, lpa, prevTS, &mine); err != nil || !found {
 				return out, at, nil
 			}
-			dec, ok := t.cachedDecode(&mine, byTS)
+			dec, ok := t.cachedDecode(&mine, out)
 			if !ok {
 				return out, at, nil
 			}
 			at = t.chargeDecode(mine.Enc, at)
 			out = append(out, Version{TS: mine.TS, Data: dec})
-			byTS[mine.TS] = dec
 			prevTS = mine.TS
 			dcur = flash.PPA(mine.BackPtr)
 		default:
@@ -142,17 +144,17 @@ func (t *TimeSSD) Versions(lpa uint64, at vclock.Time) ([]Version, vclock.Time, 
 // skipped, on a miss the cold decode is performed and cached. Either way the
 // caller charges the same virtual-time decode cost — the cache alters host
 // speed only. The returned slice is private to the caller.
-func (t *TimeSSD) cachedDecode(d *delta.Delta, byTS map[vclock.Time][]byte) ([]byte, bool) {
+func (t *TimeSSD) cachedDecode(d *delta.Delta, walked []Version) ([]byte, bool) {
 	if cached := t.refcache.get(d.LPA, d.TS); cached != nil {
 		if invariant.Enabled && !t.faultsArmed {
-			cold, err := t.decodeDelta(d, byTS)
+			cold, err := t.decodeDelta(d, walked)
 			invariant.AssertNoErr(err, "refcache shadow decode")
 			invariant.Assert(bytes.Equal(cold, cached),
 				"refcache: cached version differs from cold decode (lpa %d ts %d)", d.LPA, d.TS)
 		}
 		return append([]byte(nil), cached...), true
 	}
-	dec, err := t.decodeDelta(d, byTS)
+	dec, err := t.decodeDelta(d, walked)
 	if err != nil {
 		return nil, false
 	}
@@ -172,11 +174,18 @@ func (t *TimeSSD) chargeDecode(enc delta.Encoding, at vclock.Time) vclock.Time {
 
 // decodeDelta reconstructs a version from its delta. XOR deltas need the
 // reference version, which — because obsolete versions are reclaimed in
-// time order — has always been reconstructed earlier in the walk.
-func (t *TimeSSD) decodeDelta(d *delta.Delta, byTS map[vclock.Time][]byte) ([]byte, error) {
+// time order — has always been reconstructed earlier in the walk, so a
+// linear scan over the versions walked so far finds it (version counts are
+// small; a per-call map would cost an allocation per query).
+func (t *TimeSSD) decodeDelta(d *delta.Delta, walked []Version) ([]byte, error) {
 	var ref []byte
 	if d.Enc == delta.EncXORLZF {
-		ref = byTS[d.RefTS]
+		for i := range walked {
+			if walked[i].TS == d.RefTS {
+				ref = walked[i].Data
+				break
+			}
+		}
 	}
 	payload := t.openRetained(d.LPA, d.TS, d.Payload)
 	return delta.Decode(d.Enc, payload, ref, t.PageSize())
@@ -218,7 +227,7 @@ func (t *TimeSSD) Timestamps(lpa uint64, at vclock.Time) ([]vclock.Time, vclock.
 		out = append(out, oob.TS)
 		prevTS = oob.TS
 		cur = oob.BackPtr
-	} else if rec, ok := t.trimmed[lpa]; ok {
+	} else if rec := t.trimmed[lpa]; rec.head != flash.NullPPA {
 		cur = rec.head
 	}
 
@@ -243,11 +252,11 @@ func (t *TimeSSD) Timestamps(lpa uint64, at vclock.Time) ([]vclock.Time, vclock.
 	}
 
 	dcur := flash.NullPPA
-	if p, ok := t.pending[lpa]; ok && p.d.TS < prevTS {
+	if p := t.pending[lpa]; p.d != nil && p.d.TS < prevTS {
 		out = append(out, p.d.TS)
 		prevTS = p.d.TS
 		dcur = flash.PPA(p.d.BackPtr)
-	} else if h, ok := t.imt[lpa]; ok {
+	} else if h := t.imt[lpa]; h != flash.NullPPA {
 		dcur = h
 	}
 	for dcur != flash.NullPPA {
@@ -294,7 +303,7 @@ func (t *TimeSSD) CandidateLPAs() []uint64 {
 			out = append(out, lpa)
 			continue
 		}
-		if _, ok := t.trimmed[lpa]; ok {
+		if t.trimmed[lpa].head != flash.NullPPA {
 			out = append(out, lpa)
 		}
 	}
@@ -320,7 +329,7 @@ func (t *TimeSSD) UpdatedBetween(from, to vclock.Time, at vclock.Time) ([]Update
 		var hit []vclock.Time
 		// A deletion inside the range is an update of this LPA's state even
 		// though it created no new version.
-		if rec, ok := t.trimmed[lpa]; ok && rec.ts >= from && rec.ts <= to {
+		if rec := t.trimmed[lpa]; rec.head != flash.NullPPA && rec.ts >= from && rec.ts <= to {
 			hit = append(hit, rec.ts)
 		}
 		for _, w := range ts {
@@ -359,7 +368,9 @@ func (t *TimeSSD) rollBackOne(lpa uint64, when, at vclock.Time) (vclock.Time, er
 	if v.Live {
 		return at, nil // already at the requested state
 	}
-	return t.Write(lpa, v.Data, at)
+	// Copy before writing back: v.Data may alias flash storage, and the
+	// write's own GC could reclaim that page mid-operation.
+	return t.Write(lpa, append([]byte(nil), v.Data...), at)
 }
 
 // RollBackAll reverts every candidate LPA to its state at time `when`.
@@ -397,7 +408,8 @@ func (t *TimeSSD) rollBackAll(when, at vclock.Time) (int, vclock.Time, error) {
 		if v.Live {
 			continue
 		}
-		if at, err = t.Write(lpa, v.Data, at); err != nil {
+		// Same aliasing hazard as rollBackOne: copy before writing back.
+		if at, err = t.Write(lpa, append([]byte(nil), v.Data...), at); err != nil {
 			return changed, at, err
 		}
 		changed++

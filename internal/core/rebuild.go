@@ -55,15 +55,12 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 		cfg.CohortSegments = 1
 	}
 	t := &TimeSSD{
-		Base:    b,
-		cfg:     cfg,
-		zero:    make([]byte, cfg.FTL.Flash.PageSize),
-		cohorts: make(map[int]*segment),
-		imt:     make(map[uint64]flash.PPA),
-		pending: make(map[uint64]pendingDelta),
-		prt:     make([]bool, cfg.FTL.Flash.TotalPages()),
-		trimmed: make(map[uint64]trimRecord),
+		Base: b,
+		cfg:  cfg,
+		zero: make([]byte, cfg.FTL.Flash.PageSize),
+		prt:  make([]bool, cfg.FTL.Flash.TotalPages()),
 	}
+	t.initTables()
 	if err := t.initCipher(); err != nil {
 		return nil, err
 	}
@@ -142,6 +139,7 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	}
 	t.rebuiltAt = rebuiltAt
 	t.chain = bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, rebuiltAt)
+	t.chain.EnableMemo(uint64(fc.TotalPages() - 1))
 
 	// Pass 1: close partially-written blocks. Firmware pads an open block
 	// after a crash so programming can only ever resume on fresh blocks.
@@ -180,6 +178,9 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 	for lpa, h := range imtHead {
 		if live, ok := liveHead[lpa]; ok && live.ts <= h.ts {
 			return nil, fmt.Errorf("rebuild: lpa %d has a delta (ts %v) newer than its live head (ts %v)", lpa, h.ts, live.ts)
+		}
+		if lpa >= logical {
+			continue // corrupt delta metadata for an impossible LPA: inert
 		}
 		t.imt[lpa] = h.ppa
 	}
@@ -228,6 +229,9 @@ func Rebuild(arr *flash.Array, cfg Config) (*TimeSSD, error) {
 		return nil, err
 	}
 	if len(legacy.blocks) > 0 {
+		if len(t.cohorts) == 0 {
+			t.cohorts = append(t.cohorts, nil)
+		}
 		t.cohorts[0] = legacy
 	}
 	// If every block was full (no padding page carried the journal), write

@@ -10,7 +10,7 @@ import (
 // --- LRU unit tests -------------------------------------------------------
 
 func TestRefCacheUnit(t *testing.T) {
-	if newRefCache(0) != nil {
+	if newRefCache(0, 64) != nil {
 		t.Fatal("slots=0 must disable the cache")
 	}
 	var disabled *refCache
@@ -21,7 +21,7 @@ func TestRefCacheUnit(t *testing.T) {
 	disabled.invalidateLPA(1)
 	disabled.invalidateAll()
 
-	c := newRefCache(2)
+	c := newRefCache(2, 64)
 	c.put(1, 10, []byte("a"))
 	c.put(2, 20, []byte("b"))
 	if got := c.get(1, 10); !bytes.Equal(got, []byte("a")) {
@@ -183,7 +183,7 @@ func TestRefCacheDisabled(t *testing.T) {
 func TestRefCacheInvalidateOnWrite(t *testing.T) {
 	d, at := deltaChainDevice(t, nil)
 	_, at = queryVersions(t, d, 0, at)
-	if len(d.refcache.byLPA[0]) == 0 {
+	if d.refcache.lpaCount(0) == 0 {
 		t.Fatal("warm query cached nothing for lpa 0")
 	}
 	at = at.Add(vclock.Second)
@@ -191,7 +191,7 @@ func TestRefCacheInvalidateOnWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.refcache.byLPA[0]) != 0 {
+	if d.refcache.lpaCount(0) != 0 {
 		t.Fatal("cached versions of lpa 0 survived a host write")
 	}
 	// The cold re-decode must see the new version on top of the old chain.
@@ -207,7 +207,7 @@ func TestRefCacheInvalidateOnWrite(t *testing.T) {
 func TestRefCacheInvalidateOnTrim(t *testing.T) {
 	d, at := deltaChainDevice(t, nil)
 	_, at = queryVersions(t, d, 1, at)
-	if len(d.refcache.byLPA[1]) == 0 {
+	if d.refcache.lpaCount(1) == 0 {
 		t.Fatal("warm query cached nothing for lpa 1")
 	}
 	at = at.Add(vclock.Second)
@@ -215,7 +215,7 @@ func TestRefCacheInvalidateOnTrim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.refcache.byLPA[1]) != 0 {
+	if d.refcache.lpaCount(1) != 0 {
 		t.Fatal("cached versions of lpa 1 survived a trim")
 	}
 	// History queries after the trim decode cold and must not resurrect
@@ -234,7 +234,7 @@ func TestRefCacheInvalidateOnRollback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.refcache.byLPA[2]) != 0 {
+	if d.refcache.lpaCount(2) != 0 {
 		t.Fatal("cached versions of lpa 2 survived a rollback")
 	}
 	data, _, err := d.Read(2, done.Add(vclock.Second))

@@ -25,6 +25,7 @@ import (
 	"almanac/internal/fault"
 	"almanac/internal/flash"
 	"almanac/internal/ftl"
+	"almanac/internal/lzf"
 	"almanac/internal/obs"
 	"almanac/internal/vclock"
 )
@@ -201,13 +202,24 @@ type TimeSSD struct {
 	zero []byte
 
 	chain       *bloom.Chain
-	cohorts     map[int]*segment // delta cohorts by stable cohort id
-	droppedSegs int              // Bloom filters dropped so far (stable-id base)
+	cohorts     []*segment // delta cohorts indexed by stable cohort id (nil = retired/absent)
+	droppedSegs int        // Bloom filters dropped so far (stable-id base)
 
-	imt     map[uint64]flash.PPA    // index mapping table: LPA → head delta page
-	pending map[uint64]pendingDelta // newest unflushed delta per LPA
-	prt     []bool                  // page reclamation table, indexed by PPA
-	trimmed map[uint64]trimRecord   // chain heads + times of trimmed LPAs
+	// The per-LPA tables are flat slices indexed by LPA (like the base
+	// FTL's AMT) so the hot read/write/query paths never touch a map.
+	// Absence sentinels: imt[lpa] == NullPPA, pending[lpa].d == nil,
+	// trimmed[lpa].head == NullPPA.
+	imt     []flash.PPA    // index mapping table: LPA → head delta page
+	pending []pendingDelta // newest unflushed delta per LPA
+	prt     []bool         // page reclamation table, indexed by PPA
+	trimmed []trimRecord   // chain heads + times of trimmed LPAs
+
+	// pendingLPAs lists LPAs that may hold a pending entry so iteration
+	// never scans the whole logical space; cleared entries are compacted
+	// out on the next forEachPending sweep (pendingListed guards against
+	// duplicate list entries across clear/re-set cycles).
+	pendingLPAs   []uint64
+	pendingListed []bool
 
 	expiredDeltaBlocks []int // delta blocks whose segment retired; erase first
 
@@ -229,9 +241,11 @@ type TimeSSD struct {
 	// Host-side hot-path state. Devices are single-goroutine (simulated
 	// threads share a device serially; array shards own their devices), so
 	// the scratch buffers need no locks.
-	refcache    *refCache // decoded-version cache for query paths
-	encScratch  []byte    // delta.Encode staging, reused across GC compressions
-	faultsArmed bool      // skip almanacdebug shadow decodes under injected faults
+	refcache    *refCache      // decoded-version cache for query paths
+	encScratch  []byte         // delta.Encode staging, reused across GC compressions
+	lzc         lzf.Compressor // generation-tagged LZF match table, reused across GC compressions
+	gcVers      []chainVersion // compressRetained chain staging, reused across calls
+	faultsArmed bool           // skip almanacdebug shadow decodes under injected faults
 
 	// rebuiltAt is the rebuild instant when this device was mounted by
 	// Rebuild (zero for a fresh device): the newest write timestamp found
@@ -263,18 +277,63 @@ func New(cfg Config) (*TimeSSD, error) {
 		cfg:      cfg,
 		zero:     make([]byte, cfg.FTL.Flash.PageSize),
 		chain:    bloom.NewChain(cfg.BFCapacity, cfg.BFFalsePositive, cfg.BFGroup, 0),
-		imt:      make(map[uint64]flash.PPA),
-		pending:  make(map[uint64]pendingDelta),
 		prt:      make([]bool, cfg.FTL.Flash.TotalPages()),
-		trimmed:  make(map[uint64]trimRecord),
-		refcache: newRefCache(cfg.RefCacheSlots),
+		refcache: newRefCache(cfg.RefCacheSlots, b.LogicalPages()),
 	}
-	t.cohorts = make(map[int]*segment)
+	t.chain.EnableMemo(uint64(cfg.FTL.Flash.TotalPages() - 1))
+	t.initTables()
 	if err := t.initCipher(); err != nil {
 		return nil, err
 	}
 	t.attachObs()
 	return t, nil
+}
+
+// initTables allocates the flat per-LPA tables with their absence
+// sentinels in place.
+func (t *TimeSSD) initTables() {
+	logical := t.LogicalPages()
+	t.imt = make([]flash.PPA, logical)
+	t.trimmed = make([]trimRecord, logical)
+	for i := range t.imt {
+		t.imt[i] = flash.NullPPA
+		t.trimmed[i].head = flash.NullPPA
+	}
+	t.pending = make([]pendingDelta, logical)
+	t.pendingListed = make([]bool, logical)
+}
+
+// setPending records the newest unflushed delta for lpa.
+func (t *TimeSSD) setPending(lpa uint64, p pendingDelta) {
+	if !t.pendingListed[lpa] {
+		t.pendingListed[lpa] = true
+		t.pendingLPAs = append(t.pendingLPAs, lpa)
+	}
+	t.pending[lpa] = p
+}
+
+// clearPending drops lpa's pending entry; the stale list slot is compacted
+// out by the next forEachPending sweep.
+func (t *TimeSSD) clearPending(lpa uint64) {
+	t.pending[lpa] = pendingDelta{}
+}
+
+// forEachPending visits every live pending entry, compacting cleared list
+// slots as it goes. fn may clear entries (including the current one) and
+// add new ones; additions are visited in the same sweep.
+func (t *TimeSSD) forEachPending(fn func(lpa uint64, p pendingDelta)) {
+	dst := 0
+	for i := 0; i < len(t.pendingLPAs); i++ {
+		lpa := t.pendingLPAs[i]
+		if t.pending[lpa].d == nil {
+			t.pendingListed[lpa] = false
+			continue
+		}
+		t.pendingLPAs[dst] = lpa
+		dst++
+		fn(lpa, t.pending[lpa])
+	}
+	t.pendingLPAs = t.pendingLPAs[:dst]
 }
 
 // attachObs creates the device's observability registry (disabled until a
@@ -438,9 +497,9 @@ func (t *TimeSSD) Write(lpa uint64, data []byte, at vclock.Time) (vclock.Time, e
 	if back == flash.NullPPA {
 		// Preserve lineage across delete+recreate: the new version links to
 		// the chain head remembered at trim time.
-		if rec, ok := t.trimmed[lpa]; ok {
+		if rec := t.trimmed[lpa]; rec.head != flash.NullPPA {
 			back = rec.head
-			delete(t.trimmed, lpa)
+			t.trimmed[lpa] = trimRecord{head: flash.NullPPA}
 		}
 	}
 	oob := flash.OOB{LPA: lpa, BackPtr: back, TS: issue, Kind: flash.KindData}
@@ -563,8 +622,8 @@ func (t *TimeSSD) shortenWindow(now vclock.Time) bool {
 	// versions its delta blocks hold are expired, so the blocks are
 	// erasable without migration.
 	firstLive := t.droppedSegs / t.cfg.CohortSegments
-	for id, seg := range t.cohorts {
-		if id < firstLive {
+	for id := 0; id < firstLive && id < len(t.cohorts); id++ {
+		if seg := t.cohorts[id]; seg != nil {
 			t.retireCohort(id, seg)
 		}
 	}
@@ -584,14 +643,14 @@ func (t *TimeSSD) retireCohort(id int, seg *segment) {
 	// Deltas still sitting in the buffer belong to the dropped window; the
 	// pending index entries for them must be removed.
 	if !seg.buf.Empty() {
-		for lpa, p := range t.pending {
+		t.forEachPending(func(lpa uint64, p pendingDelta) {
 			if p.seg == seg {
-				delete(t.pending, lpa)
+				t.clearPending(lpa)
 			}
-		}
+		})
 	}
 	t.refcache.invalidateAll()
-	delete(t.cohorts, id)
+	t.cohorts[id] = nil
 }
 
 // ensureFree keeps the free pool above the watermarks, running Algorithm 1

@@ -77,6 +77,16 @@ func xorBytes(dst, a, b []byte) {
 // EncRaw). Callers reuse dst across calls to amortise allocations; pass nil
 // for a one-shot encode.
 func Encode(dst, old, ref []byte) (Encoding, []byte) {
+	return EncodeWith(nil, dst, old, ref)
+}
+
+// EncodeWith is Encode through a caller-owned lzf.Compressor, whose
+// generation-tagged match table skips the per-call table clear the pure
+// compressor pays. A nil compressor falls back to lzf.Compress; either way
+// the emitted bytes are identical (the compressor guarantees byte-identical
+// output). Hot single-goroutine paths — GC delta emission — hold one
+// compressor per device.
+func EncodeWith(c *lzf.Compressor, dst, old, ref []byte) (Encoding, []byte) {
 	if ref != nil && len(ref) != len(old) {
 		panic("delta: reference and version sizes differ")
 	}
@@ -95,7 +105,11 @@ func Encode(dst, old, ref []byte) (Encoding, []byte) {
 		enc = EncXORLZF
 		defer func() { *sp = s; xorScratch.Put(sp) }()
 	}
-	dst = lzf.Compress(dst, src)
+	if c != nil {
+		dst = c.Compress(dst, src)
+	} else {
+		dst = lzf.Compress(dst, src)
+	}
 	if len(dst)-base >= len(old) {
 		// Compression did not pay; store verbatim.
 		dst = append(dst[:base], old...)

@@ -9,12 +9,18 @@
 // sequentially. Latencies are charged against virtual time on the channel
 // that owns the target chip, which models the internal parallelism TimeKits
 // exploits for fast state queries (§3.9).
+//
+// Page state is held struct-of-arrays: one flat byte arena for content
+// plus parallel slices for per-page length and OOB and per-block write
+// pointers and erase counts. The layout keeps the hot Read/Program path
+// free of pointer chasing and per-page allocations; an erase only resets
+// metadata (stale arena bytes are unreachable because reads are bounded
+// by the per-page length).
 package flash
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"almanac/internal/fault"
 	"almanac/internal/invariant"
@@ -146,17 +152,6 @@ var (
 	ErrReadFailed = fault.ErrUncorrectable
 )
 
-type page struct {
-	data []byte
-	oob  OOB
-}
-
-type block struct {
-	pages    []page
-	writePtr int // next page to program; PagesPerBlock when full
-	erases   int
-}
-
 // Stats aggregates operation counts for the lifetime of the array. The
 // fault counters are volatile: image serialization persists only the three
 // op counts (the wire/image format is frozen), so they reset across a
@@ -173,17 +168,34 @@ type Stats struct {
 	TornWrites    int64 // pages torn by a power cut mid-program
 }
 
-// Array is the simulated flash device.
+// Array is the simulated flash device. It is confined to one goroutine at
+// a time, like every layer above it (core.TimeSSD documents the same
+// contract; array shards own their devices): no Array method is safe for
+// concurrent use.
 type Array struct {
-	cfg    Config
-	mu     sync.Mutex
-	blocks []block
+	cfg Config
+
+	// Struct-of-arrays page state. Page p's content is
+	// data[p*PageSize : p*PageSize+dataLen[p]]; oob[p] is its OOB.
+	data    []byte // flat content arena, PageSize stride
+	dataLen []int32
+	oob     []OOB
+	// Per-block state, parallel slices indexed by block.
+	writePtr []int32 // next page to program; PagesPerBlock when full
+	erases   []int32
+
 	busy   []vclock.Time // per-channel horizon
 	stats  Stats
 	failRd map[PPA]int     // failure injection: remaining failures per page
 	faults *fault.Injector // plan-driven fault model; nil = perfect device
 	dead   bool            // a PowerCut fault fired; every op fails until remount
 	obsr   *obs.Registry
+
+	// Cached geometry for the hot path.
+	pagesPerBlock int
+	pageSize      int
+	totalPages    int
+	chanOfBlock   []uint8 // channel owning each block
 }
 
 // New builds an array with all blocks erased.
@@ -191,15 +203,33 @@ func New(cfg Config) (*Array, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	total := cfg.TotalPages()
 	a := &Array{
-		cfg:    cfg,
-		blocks: make([]block, cfg.TotalBlocks()),
-		busy:   make([]vclock.Time, cfg.Channels),
+		cfg:           cfg,
+		data:          make([]byte, int64(total)*int64(cfg.PageSize)),
+		dataLen:       make([]int32, total),
+		oob:           make([]OOB, total),
+		writePtr:      make([]int32, cfg.TotalBlocks()),
+		erases:        make([]int32, cfg.TotalBlocks()),
+		busy:          make([]vclock.Time, cfg.Channels),
+		pagesPerBlock: cfg.PagesPerBlock,
+		pageSize:      cfg.PageSize,
+		totalPages:    total,
+		chanOfBlock:   make([]uint8, cfg.TotalBlocks()),
 	}
-	for i := range a.blocks {
-		a.blocks[i].pages = make([]page, cfg.PagesPerBlock)
+	bpc := cfg.BlocksPerChip()
+	for b := range a.chanOfBlock {
+		a.chanOfBlock[b] = uint8((b / bpc) % cfg.Channels)
 	}
 	return a, nil
+}
+
+// pageData returns the programmed content of ppa as a view into the
+// arena, capped at the page boundary so appends can never spill into a
+// neighbouring page.
+func (a *Array) pageData(ppa PPA) []byte {
+	off := int(ppa) * a.pageSize
+	return a.data[off : off+int(a.dataLen[ppa]) : off+a.pageSize]
 }
 
 // Config returns the array geometry.
@@ -209,8 +239,6 @@ func (a *Array) Config() Config { return a.cfg }
 // record their class, virtual latency and wall cost on it. A nil registry
 // (the default) disables recording entirely.
 func (a *Array) SetObserver(r *obs.Registry) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.obsr = r
 }
 
@@ -219,8 +247,6 @@ func (a *Array) SetObserver(r *obs.Registry) {
 // perfect device. The hot-path cost with no injector is a single pointer
 // load under the lock the operation already holds.
 func (a *Array) SetFaults(inj *fault.Injector) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.faults = inj
 }
 
@@ -229,8 +255,6 @@ func (a *Array) SetFaults(inj *fault.Injector) {
 // accessors still work, modelling the medium's state at the instant power
 // was lost. Power comes back by loading the image into a fresh array.
 func (a *Array) Dead() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	return a.dead
 }
 
@@ -240,29 +264,28 @@ func (a *Array) faultAddr(blockIdx, pageOff int) fault.Addr {
 }
 
 // BlockOf returns the block index containing ppa.
-func (a *Array) BlockOf(ppa PPA) int { return int(ppa) / a.cfg.PagesPerBlock }
+func (a *Array) BlockOf(ppa PPA) int { return int(ppa) / a.pagesPerBlock }
 
 // PageOf returns the page offset of ppa within its block.
-func (a *Array) PageOf(ppa PPA) int { return int(ppa) % a.cfg.PagesPerBlock }
+func (a *Array) PageOf(ppa PPA) int { return int(ppa) % a.pagesPerBlock }
 
 // AddrOf composes a PPA from block index and page offset.
 func (a *Array) AddrOf(blockIdx, pageOff int) PPA {
-	return PPA(blockIdx*a.cfg.PagesPerBlock + pageOff)
+	return PPA(blockIdx*a.pagesPerBlock + pageOff)
 }
 
 // ChannelOfBlock returns the channel that owns blockIdx. Chips are striped
 // across channels so consecutive blocks spread over channels at chip
 // granularity.
 func (a *Array) ChannelOfBlock(blockIdx int) int {
-	chip := blockIdx / a.cfg.BlocksPerChip()
-	return chip % a.cfg.Channels
+	return int(a.chanOfBlock[blockIdx])
 }
 
 // ChannelOf returns the channel that owns ppa.
 func (a *Array) ChannelOf(ppa PPA) int { return a.ChannelOfBlock(a.BlockOf(ppa)) }
 
 func (a *Array) checkPPA(ppa PPA) error {
-	if int(ppa) >= a.cfg.TotalPages() {
+	if int(ppa) >= a.totalPages {
 		return fmt.Errorf("%w: ppa %d", ErrBadAddress, ppa)
 	}
 	return nil
@@ -285,8 +308,6 @@ func (a *Array) occupy(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
 // that the simulator does not materialise as stored pages (e.g. the FTL's
 // translation-page reads and write-backs under demand-paged mapping).
 func (a *Array) Charge(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if ch < 0 || ch >= len(a.busy) {
 		ch = 0
 	}
@@ -297,33 +318,32 @@ func (a *Array) Charge(ch int, at vclock.Time, d vclock.Duration) vclock.Time {
 // time is when the channel finishes the operation. The returned data slice
 // aliases the array's copy; callers must not mutate it.
 func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock.Time, err error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.dead {
 		return nil, OOB{}, at, fault.ErrPowerCut
 	}
-	if err = a.checkPPA(ppa); err != nil {
-		return nil, OOB{}, at, err
+	if int(ppa) >= a.totalPages {
+		return nil, OOB{}, at, fmt.Errorf("%w: ppa %d", ErrBadAddress, ppa)
 	}
-	b := &a.blocks[a.BlockOf(ppa)]
-	p := &b.pages[a.PageOf(ppa)]
-	if p.oob.Kind == KindFree {
+	oob = a.oob[ppa]
+	if oob.Kind == KindFree {
 		return nil, OOB{}, at, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
 	}
 	ws := a.obsr.Start()
 	a.stats.Reads++
-	done = a.occupy(a.ChannelOf(ppa), at, a.cfg.ReadLatency)
+	done = a.occupy(int(a.chanOfBlock[int(ppa)/a.pagesPerBlock]), at, a.cfg.ReadLatency)
 	// Recorded unconditionally (injected failures included) so the class
 	// count tracks stats.Reads exactly; queueing behind a busy channel is
 	// part of the observed virtual latency.
 	a.obsr.Observe(obs.FlashRead, int64(done.Sub(at)), ws, true)
-	if n, ok := a.failRd[ppa]; ok {
-		if n == 1 {
-			delete(a.failRd, ppa)
-		} else {
-			a.failRd[ppa] = n - 1
+	if a.failRd != nil {
+		if n, ok := a.failRd[ppa]; ok {
+			if n == 1 {
+				delete(a.failRd, ppa)
+			} else {
+				a.failRd[ppa] = n - 1
+			}
+			return nil, OOB{}, done, fmt.Errorf("%w: ppa %d", ErrReadFailed, ppa)
 		}
-		return nil, OOB{}, done, fmt.Errorf("%w: ppa %d", ErrReadFailed, ppa)
 	}
 	if a.faults != nil {
 		switch out := a.faults.Check(fault.OpRead, a.faultAddr(a.BlockOf(ppa), a.PageOf(ppa)), at); out.Decision {
@@ -337,23 +357,22 @@ func (a *Array) Read(ppa PPA, at vclock.Time) (data []byte, oob OOB, done vclock
 		case fault.DecSilent:
 			// Corruption below the detection floor: a flipped copy is
 			// returned as if it were good data.
-			cp := append([]byte(nil), p.data...)
+			cp := append([]byte(nil), a.pageData(ppa)...)
 			a.faults.Corrupt(cp, out.Bits)
-			return cp, p.oob, done, nil
+			return cp, oob, done, nil
 		case fault.DecPowerCut:
 			a.dead = true
 			a.obsr.Observe(obs.FaultPowerCut, 0, ws, false)
 			return nil, OOB{}, done, fault.ErrPowerCut
 		}
 	}
-	return p.data, p.oob, done, nil
+	data = a.pageData(ppa)
+	return data, oob, done, nil
 }
 
 // FailReads arms ppa to fail its next n reads with ErrReadFailed — the
 // test hook for uncorrectable-error injection. Peek* bypasses injection.
 func (a *Array) FailReads(ppa PPA, n int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.failRd == nil {
 		a.failRd = make(map[PPA]int)
 	}
@@ -368,34 +387,27 @@ func (a *Array) FailReads(ppa PPA, n int) {
 // time or stats. Mount-time scans (firmware state rebuild) and tests use
 // it; steady-state firmware paths must use Read.
 func (a *Array) PeekPage(ppa PPA) ([]byte, OOB, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if err := a.checkPPA(ppa); err != nil {
 		return nil, OOB{}, err
 	}
-	p := &a.blocks[a.BlockOf(ppa)].pages[a.PageOf(ppa)]
-	if p.oob.Kind == KindFree {
+	if a.oob[ppa].Kind == KindFree {
 		return nil, OOB{}, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
 	}
-	cp := make([]byte, len(p.data))
-	copy(cp, p.data)
-	return cp, p.oob, nil
+	cp := append([]byte(nil), a.pageData(ppa)...)
+	return cp, a.oob[ppa], nil
 }
 
 // PeekOOB returns a programmed page's OOB without charging time or stats.
 // It exists for consistency checkers and tests; firmware code paths must
 // use Read/ReadOOB so their cost is accounted.
 func (a *Array) PeekOOB(ppa PPA) (OOB, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if err := a.checkPPA(ppa); err != nil {
 		return OOB{}, err
 	}
-	p := &a.blocks[a.BlockOf(ppa)].pages[a.PageOf(ppa)]
-	if p.oob.Kind == KindFree {
+	if a.oob[ppa].Kind == KindFree {
 		return OOB{}, fmt.Errorf("%w: ppa %d", ErrReadFree, ppa)
 	}
-	return p.oob, nil
+	return a.oob[ppa], nil
 }
 
 // ReadOOB returns only the OOB of a programmed page, charged as a read.
@@ -404,66 +416,69 @@ func (a *Array) ReadOOB(ppa PPA, at vclock.Time) (OOB, vclock.Time, error) {
 	return oob, done, err
 }
 
+// setPage stores content and OOB for ppa in the arena.
+func (a *Array) setPage(ppa PPA, data []byte, oob OOB) {
+	off := int(ppa) * a.pageSize
+	copy(a.data[off:off+len(data)], data)
+	a.dataLen[ppa] = int32(len(data))
+	a.oob[ppa] = oob
+}
+
 // Program appends data to blockIdx at its write pointer and returns the PPA
 // it landed on. Programming a full block fails with ErrBlockFull. data is
 // copied; it may be shorter than PageSize (zero-padded semantics).
 func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA, vclock.Time, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.dead {
 		return NullPPA, at, fault.ErrPowerCut
 	}
-	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+	if blockIdx < 0 || blockIdx >= len(a.writePtr) {
 		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
-	if len(data) > a.cfg.PageSize {
-		return NullPPA, at, fmt.Errorf("flash: payload %d exceeds page size %d", len(data), a.cfg.PageSize)
+	if len(data) > a.pageSize {
+		return NullPPA, at, fmt.Errorf("flash: payload %d exceeds page size %d", len(data), a.pageSize)
 	}
 	if oob.Kind == KindFree {
 		return NullPPA, at, errors.New("flash: programming a page requires a non-free OOB kind")
 	}
-	b := &a.blocks[blockIdx]
-	if b.writePtr >= a.cfg.PagesPerBlock {
+	wp := int(a.writePtr[blockIdx])
+	if wp >= a.pagesPerBlock {
 		return NullPPA, at, fmt.Errorf("%w: block %d", ErrBlockFull, blockIdx)
 	}
 	ws := a.obsr.Start()
+	base := PPA(blockIdx * a.pagesPerBlock)
 	if invariant.Enabled {
 		// Erase-before-program and in-block program order (§3.7's physical
 		// premises): everything below the write pointer is programmed,
 		// everything at or above it is still erased.
-		for off := 0; off < a.cfg.PagesPerBlock; off++ {
-			kind := b.pages[off].oob.Kind
-			if off < b.writePtr {
+		for off := 0; off < a.pagesPerBlock; off++ {
+			kind := a.oob[base+PPA(off)].Kind
+			if off < wp {
 				invariant.Assert(kind != KindFree,
-					"block %d page %d below writePtr %d is erased", blockIdx, off, b.writePtr)
+					"block %d page %d below writePtr %d is erased", blockIdx, off, wp)
 			} else {
 				invariant.Assert(kind == KindFree,
 					"block %d page %d at/above writePtr %d is already programmed (kind %v)",
-					blockIdx, off, b.writePtr, kind)
+					blockIdx, off, wp, kind)
 			}
 		}
 	}
 	if a.faults != nil {
-		switch out := a.faults.Check(fault.OpProgram, a.faultAddr(blockIdx, b.writePtr), at); out.Decision {
+		switch out := a.faults.Check(fault.OpProgram, a.faultAddr(blockIdx, wp), at); out.Decision {
 		case fault.DecProgramFail:
 			// The program failed verify: the page is burned (stamped KindBad,
 			// dead until the block is erased) and the caller must relocate.
-			p := &b.pages[b.writePtr]
-			p.data = p.data[:0]
-			p.oob = OOB{Kind: KindBad}
-			b.writePtr++
+			a.setPage(base+PPA(wp), nil, OOB{Kind: KindBad})
+			a.writePtr[blockIdx]++
 			a.stats.ProgramFails++
-			done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.ProgLatency)
+			done := a.occupy(int(a.chanOfBlock[blockIdx]), at, a.cfg.ProgLatency)
 			a.obsr.Observe(obs.FaultProgramFail, int64(done.Sub(at)), ws, false)
-			return NullPPA, done, fmt.Errorf("%w: block %d page %d", fault.ErrProgramFail, blockIdx, b.writePtr-1)
+			return NullPPA, done, fmt.Errorf("%w: block %d page %d", fault.ErrProgramFail, blockIdx, wp)
 		case fault.DecPowerCut:
 			// Power died mid-program: the page is torn — part of the payload
 			// reached the cells, the OOB never committed. It reads back as a
 			// dead KindBad page after remount.
-			p := &b.pages[b.writePtr]
-			p.data = append(p.data[:0], data[:len(data)/2]...)
-			p.oob = OOB{Kind: KindBad}
-			b.writePtr++
+			a.setPage(base+PPA(wp), data[:len(data)/2], OOB{Kind: KindBad})
+			a.writePtr[blockIdx]++
 			a.stats.TornWrites++
 			a.dead = true
 			a.obsr.Observe(obs.FaultPowerCut, 0, ws, false)
@@ -471,29 +486,36 @@ func (a *Array) Program(blockIdx int, data []byte, oob OOB, at vclock.Time) (PPA
 		case fault.DecNone:
 		}
 	}
-	p := &b.pages[b.writePtr]
-	p.data = append(p.data[:0], data...)
-	p.oob = oob
-	ppa := a.AddrOf(blockIdx, b.writePtr)
-	b.writePtr++
+	ppa := base + PPA(wp)
+	a.setPage(ppa, data, oob)
+	a.writePtr[blockIdx] = int32(wp + 1)
 	a.stats.Programs++
-	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.ProgLatency)
+	done := a.occupy(int(a.chanOfBlock[blockIdx]), at, a.cfg.ProgLatency)
 	a.obsr.Observe(obs.FlashProgram, int64(done.Sub(at)), ws, true)
 	return ppa, done, nil
 }
 
+// eraseBlockState resets the metadata of every page in blockIdx. The arena
+// bytes are left in place: they are unreachable behind dataLen 0 and will
+// be overwritten by the next program, which keeps erase O(pages) metadata
+// work instead of O(bytes).
+func (a *Array) eraseBlockState(blockIdx int, kind PageKind) {
+	base := blockIdx * a.pagesPerBlock
+	for off := 0; off < a.pagesPerBlock; off++ {
+		a.dataLen[base+off] = 0
+		a.oob[base+off] = OOB{Kind: kind}
+	}
+}
+
 // Erase resets every page in blockIdx to free and bumps its erase count.
 func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.dead {
 		return at, fault.ErrPowerCut
 	}
-	if blockIdx < 0 || blockIdx >= len(a.blocks) {
+	if blockIdx < 0 || blockIdx >= len(a.writePtr) {
 		return at, fmt.Errorf("%w: block %d", ErrBadAddress, blockIdx)
 	}
 	ws := a.obsr.Start()
-	b := &a.blocks[blockIdx]
 	if a.faults != nil {
 		switch out := a.faults.Check(fault.OpErase, fault.Addr{Channel: a.ChannelOfBlock(blockIdx), Block: blockIdx, Page: fault.Any}, at); out.Decision {
 		case fault.DecEraseFail:
@@ -501,13 +523,10 @@ func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 			// block. Every page is stamped KindBad and the write pointer
 			// pinned full, so the retirement survives an image round trip
 			// and the rebuild scan re-retires the block from OOB alone.
-			for i := range b.pages {
-				b.pages[i].data = b.pages[i].data[:0]
-				b.pages[i].oob = OOB{Kind: KindBad}
-			}
-			b.writePtr = a.cfg.PagesPerBlock
+			a.eraseBlockState(blockIdx, KindBad)
+			a.writePtr[blockIdx] = int32(a.pagesPerBlock)
 			a.stats.EraseFails++
-			done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
+			done := a.occupy(int(a.chanOfBlock[blockIdx]), at, a.cfg.EraseLatency)
 			a.obsr.Observe(obs.FaultEraseFail, int64(done.Sub(at)), ws, false)
 			return done, fmt.Errorf("%w: block %d", fault.ErrEraseFail, blockIdx)
 		case fault.DecPowerCut:
@@ -519,46 +538,38 @@ func (a *Array) Erase(blockIdx int, at vclock.Time) (vclock.Time, error) {
 		case fault.DecNone:
 		}
 	}
-	for i := range b.pages {
-		b.pages[i].data = b.pages[i].data[:0]
-		b.pages[i].oob = OOB{Kind: KindFree}
-	}
-	b.writePtr = 0
-	b.erases++
+	a.eraseBlockState(blockIdx, KindFree)
+	a.writePtr[blockIdx] = 0
+	a.erases[blockIdx]++
 	a.stats.Erases++
 	if invariant.Enabled {
-		for off := range b.pages {
-			invariant.Assert(b.pages[off].oob.Kind == KindFree && len(b.pages[off].data) == 0,
+		base := blockIdx * a.pagesPerBlock
+		for off := 0; off < a.pagesPerBlock; off++ {
+			invariant.Assert(a.oob[base+off].Kind == KindFree && a.dataLen[base+off] == 0,
 				"block %d page %d not free after erase", blockIdx, off)
 		}
 	}
-	done := a.occupy(a.ChannelOfBlock(blockIdx), at, a.cfg.EraseLatency)
+	done := a.occupy(int(a.chanOfBlock[blockIdx]), at, a.cfg.EraseLatency)
 	a.obsr.Observe(obs.FlashErase, int64(done.Sub(at)), ws, true)
 	return done, nil
 }
 
 // WritePtr returns the next page offset to be programmed in blockIdx.
 func (a *Array) WritePtr(blockIdx int) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.blocks[blockIdx].writePtr
+	return int(a.writePtr[blockIdx])
 }
 
 // EraseCount returns how many times blockIdx has been erased.
 func (a *Array) EraseCount(blockIdx int) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.blocks[blockIdx].erases
+	return int(a.erases[blockIdx])
 }
 
 // WearSpread returns the minimum and maximum per-block erase counts — the
 // quantity wear leveling tries to compress.
 func (a *Array) WearSpread() (min, max int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	min, max = a.blocks[0].erases, a.blocks[0].erases
-	for i := 1; i < len(a.blocks); i++ {
-		e := a.blocks[i].erases
+	min, max = int(a.erases[0]), int(a.erases[0])
+	for i := 1; i < len(a.erases); i++ {
+		e := int(a.erases[i])
 		if e < min {
 			min = e
 		}
@@ -571,24 +582,18 @@ func (a *Array) WearSpread() (min, max int) {
 
 // Stats returns a snapshot of the operation counters.
 func (a *Array) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	return a.stats
 }
 
 // ChannelBusyUntil returns the busy horizon of channel ch — the virtual
 // time at which it next becomes idle.
 func (a *Array) ChannelBusyUntil(ch int) vclock.Time {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	return a.busy[ch]
 }
 
 // MaxBusyUntil returns the latest busy horizon across all channels: the
 // completion time of everything issued so far.
 func (a *Array) MaxBusyUntil() vclock.Time {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var m vclock.Time
 	for _, t := range a.busy {
 		if t > m {

@@ -32,8 +32,6 @@ var ErrBadImage = errors.New("flash: bad device image")
 
 // WriteImage serialises the array. The writer is buffered internally.
 func (a *Array) WriteImage(w io.Writer) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(imageMagic); err != nil {
 		return err
@@ -69,32 +67,33 @@ func (a *Array) WriteImage(w io.Writer) error {
 			return err
 		}
 	}
-	for bi := range a.blocks {
-		blk := &a.blocks[bi]
-		if err := u32(uint32(blk.erases)); err != nil {
+	for bi := range a.writePtr {
+		if err := u32(uint32(a.erases[bi])); err != nil {
 			return err
 		}
-		if err := u32(uint32(blk.writePtr)); err != nil {
+		if err := u32(uint32(a.writePtr[bi])); err != nil {
 			return err
 		}
-		for pi := 0; pi < blk.writePtr; pi++ {
-			p := &blk.pages[pi]
-			if err := bw.WriteByte(byte(p.oob.Kind)); err != nil {
+		for pi := 0; pi < int(a.writePtr[bi]); pi++ {
+			ppa := a.AddrOf(bi, pi)
+			oob := a.oob[ppa]
+			if err := bw.WriteByte(byte(oob.Kind)); err != nil {
 				return err
 			}
-			if err := i64(int64(p.oob.LPA)); err != nil {
+			if err := i64(int64(oob.LPA)); err != nil {
 				return err
 			}
-			if err := i64(int64(p.oob.BackPtr)); err != nil {
+			if err := i64(int64(oob.BackPtr)); err != nil {
 				return err
 			}
-			if err := i64(int64(p.oob.TS)); err != nil {
+			if err := i64(int64(oob.TS)); err != nil {
 				return err
 			}
-			if err := u32(uint32(len(p.data))); err != nil {
+			data := a.pageData(ppa)
+			if err := u32(uint32(len(data))); err != nil {
 				return err
 			}
-			if _, err := bw.Write(p.data); err != nil {
+			if _, err := bw.Write(data); err != nil {
 				return err
 			}
 		}
@@ -172,8 +171,7 @@ func ReadImage(r io.Reader) (*Array, error) {
 	}
 	a.stats = Stats{Reads: st[0], Programs: st[1], Erases: st[2]}
 
-	for bi := range a.blocks {
-		blk := &a.blocks[bi]
+	for bi := range a.writePtr {
 		erases, err := u32()
 		if err != nil {
 			return nil, fmt.Errorf("%w: block %d header: %v", ErrBadImage, bi, err)
@@ -185,8 +183,8 @@ func ReadImage(r io.Reader) (*Array, error) {
 		if int(wp) > cfg.PagesPerBlock {
 			return nil, fmt.Errorf("%w: block %d write pointer %d", ErrBadImage, bi, wp)
 		}
-		blk.erases = int(erases)
-		blk.writePtr = int(wp)
+		a.erases[bi] = int32(erases)
+		a.writePtr[bi] = int32(wp)
 		for pi := 0; pi < int(wp); pi++ {
 			kind, err := br.ReadByte()
 			if err != nil {
@@ -214,18 +212,17 @@ func ReadImage(r io.Reader) (*Array, error) {
 			if int(n) > cfg.PageSize {
 				return nil, fmt.Errorf("%w: block %d page %d payload %d", ErrBadImage, bi, pi, n)
 			}
-			data := make([]byte, n)
-			if _, err := io.ReadFull(br, data); err != nil {
+			ppa := a.AddrOf(bi, pi)
+			off := int(ppa) * cfg.PageSize
+			if _, err := io.ReadFull(br, a.data[off:off+int(n)]); err != nil {
 				return nil, fmt.Errorf("%w: block %d page %d data: %v", ErrBadImage, bi, pi, err)
 			}
-			blk.pages[pi] = page{
-				data: data,
-				oob: OOB{
-					Kind:    PageKind(kind),
-					LPA:     uint64(lpa),
-					BackPtr: PPA(uint64(back)),
-					TS:      vclock.Time(ts),
-				},
+			a.dataLen[ppa] = int32(n)
+			a.oob[ppa] = OOB{
+				Kind:    PageKind(kind),
+				LPA:     uint64(lpa),
+				BackPtr: PPA(uint64(back)),
+				TS:      vclock.Time(ts),
 			}
 		}
 	}

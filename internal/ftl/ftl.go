@@ -403,6 +403,25 @@ func (b *Base) VictimBlock(keep func(blk int) bool) int {
 	return best
 }
 
+// VictimBlockOfKind is VictimBlock restricted to sealed blocks of one kind.
+// Same scan order and tie-break as VictimBlock with an equivalent keep
+// closure; the inlined predicate keeps the per-pass GC victim search off
+// the closure-call path.
+func (b *Base) VictimBlockOfKind(kind flash.PageKind) int {
+	best, bestInvalid, bestErases := -1, 0, 0
+	for blk := range b.Info {
+		info := &b.Info[blk]
+		if info.State != bsSealed || info.Invalid == 0 || info.Kind != kind {
+			continue
+		}
+		e := b.erases[blk]
+		if info.Invalid > bestInvalid || (info.Invalid == bestInvalid && e < bestErases) {
+			best, bestInvalid, bestErases = blk, info.Invalid, e
+		}
+	}
+	return best
+}
+
 // SealedBlocks calls fn for every sealed block.
 func (b *Base) SealedBlocks(fn func(blk int, info *BlockInfo)) {
 	for blk := range b.Info {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_test.go for why the equivalence golden suite skips under it.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. The
+// equivalence golden suite skips under it: byte-comparing rendered tables
+// re-proves determinism, not race-freedom, and the same experiment code
+// paths already run race-instrumented in TestParallelMatchesSerial and the
+// service fleet test — while the extra full replays push the package past
+// CI's per-package test timeout.
+const raceEnabled = true

@@ -160,6 +160,128 @@ func Compress(dst, src []byte) []byte {
 	return dst
 }
 
+// Compressor is a Compress variant that carries its match table across
+// calls. Compress clears a 32 KiB stack table on every invocation — wasted
+// work when the inputs are single flash pages far smaller than the table.
+// The Compressor instead tags each table entry with a per-call generation:
+// entries written by earlier calls read as empty, so no clear is needed and
+// the output is byte-identical to the pure function's (the same positions
+// are visible at the same probes — asserted by TestCompressorMatchesPure).
+//
+// The zero value is ready to use. A Compressor is NOT safe for concurrent
+// use; give each goroutine (in the simulator: each device) its own.
+type Compressor struct {
+	gen   uint32
+	table [hashSize]uint64 // gen<<32 | position+1; other-generation tags read as empty
+}
+
+// Compress appends the LZF encoding of src to dst and returns the extended
+// slice. Output is byte-for-byte identical to the package-level Compress.
+func (c *Compressor) Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	c.gen++
+	if c.gen == 0 {
+		// Generation wrapped: stale tags from 1<<32 calls ago would read as
+		// current. One real clear per 4 billion calls.
+		c.table = [hashSize]uint64{}
+		c.gen = 1
+	}
+	tag := uint64(c.gen) << 32
+
+	litStart := 0 // start of the pending literal run
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > maxLitRun {
+				n = maxLitRun
+			}
+			dst = append(dst, byte(n-1))
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+
+	i := 0
+	for i+minMatch <= len(src) {
+		var h uint32
+		var u uint32
+		wide := i+4 <= len(src)
+		if wide {
+			u = binary.LittleEndian.Uint32(src[i:])
+			h = ((bits.ReverseBytes32(u) >> 8) * 2654435761) >> (32 - hashLog)
+		} else {
+			h = hash3(src[i], src[i+1], src[i+2])
+		}
+		e := c.table[h]
+		c.table[h] = tag | uint64(i+1)
+		if e>>32 == uint64(c.gen) {
+			cand := int(uint32(e)) - 1
+			var hit bool
+			if wide {
+				hit = i-cand <= maxOff && (binary.LittleEndian.Uint32(src[cand:])^u)&0xffffff == 0
+			} else {
+				hit = i-cand <= maxOff &&
+					src[cand] == src[i] && src[cand+1] == src[i+1] && src[cand+2] == src[i+2]
+			}
+			if hit {
+				mlen := minMatch
+				limit := len(src) - i
+				if limit > maxMatch {
+					limit = maxMatch
+				}
+				exact := false
+				if mlen < limit && src[cand+mlen] != src[i+mlen] {
+					exact = true
+				}
+				for !exact && mlen+8 <= limit {
+					x := binary.LittleEndian.Uint64(src[cand+mlen:]) ^ binary.LittleEndian.Uint64(src[i+mlen:])
+					if x != 0 {
+						mlen += bits.TrailingZeros64(x) >> 3
+						exact = true
+						break
+					}
+					mlen += 8
+				}
+				if !exact {
+					for mlen < limit && src[cand+mlen] == src[i+mlen] {
+						mlen++
+					}
+				}
+				flushLits(i)
+				off := i - cand - 1
+				l := mlen - 2
+				if l < 7 {
+					dst = append(dst, byte(l<<5)|byte(off>>8), byte(off))
+				} else {
+					dst = append(dst, byte(7<<5)|byte(off>>8), byte(l-7), byte(off))
+				}
+				// Seed the table with positions inside the match (same stride
+				// and hash values as the pure function; the word load mirrors
+				// the main loop's byte-reversed trick).
+				end := i + mlen
+				for j := i + 1; j+minMatch <= end; j += 2 {
+					var jh uint32
+					if j+4 <= len(src) {
+						ju := binary.LittleEndian.Uint32(src[j:])
+						jh = ((bits.ReverseBytes32(ju) >> 8) * 2654435761) >> (32 - hashLog)
+					} else {
+						jh = hash3(src[j], src[j+1], src[j+2])
+					}
+					c.table[jh] = tag | uint64(j+1)
+				}
+				i = end
+				litStart = i
+				continue
+			}
+		}
+		i++
+	}
+	flushLits(len(src))
+	return dst
+}
+
 // Decompress appends the decoding of src to dst and returns the extended
 // slice. maxOut bounds the total number of decoded bytes (not counting what
 // is already in dst); pass the known original size, or a generous cap.

