@@ -37,4 +37,5 @@ func BenchmarkTimeSSDWrite(b *testing.B)         { bench.TimeSSDWrite(b) }
 func BenchmarkTimeSSDRead(b *testing.B)          { bench.TimeSSDRead(b) }
 func BenchmarkVersionsQuery(b *testing.B)        { bench.VersionsQuery(b) }
 func BenchmarkServiceOpsPerSec(b *testing.B)     { bench.ServiceOpsPerSec(b) }
+func BenchmarkServiceOpsPerSecTCP(b *testing.B)  { bench.ServiceOpsPerSecTCP(b) }
 func BenchmarkSimOpsPerSecond(b *testing.B)      { bench.SimOpsPerSecond(b) }

@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	almabench [-out BENCH_9.json] [-figures] [-runs 3] [-check BENCH_9.json] [-tolerance 0.30]
+//	almabench [-out BENCH_10.json] [-figures] [-runs 3] [-check BENCH_10.json] [-tolerance 0.30]
 //
 // By default only the micro-benchmarks run (CI smoke); -figures adds the
 // full figure/table regeneration benchmarks. Each benchmark is run -runs
 // times and the fastest ns/op is kept — the minimum is the standard
-// noise-floor estimator on a shared host.
+// noise-floor estimator on a shared host. Benchmarks a spec marks Noisy
+// (the ones that cross the kernel, like loopback TCP) keep the median
+// instead: their minimum is an outlier, not a floor, and a committed
+// floor would make every honest rerun look like a regression. The same
+// flag doubles their ns/op tolerance at check time.
 //
 // With -check, the run is compared against a baseline JSON and a full
 // before/after table (baseline ns/op, new ns/op, delta %, allocs) is
@@ -26,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"almanac/internal/bench"
@@ -36,6 +41,7 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Noisy       bool    `json:"noisy,omitempty"`
 }
 
 type trajectory struct {
@@ -47,7 +53,7 @@ type trajectory struct {
 const schema = "almanac-bench/v1"
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "output JSON path (empty = stdout only)")
+	out := flag.String("out", "BENCH_10.json", "output JSON path (empty = stdout only)")
 	figures := flag.Bool("figures", false, "also run the figure/table regeneration benchmarks (slow)")
 	runs := flag.Int("runs", 3, "repetitions per benchmark; the fastest ns/op is kept")
 	check := flag.String("check", "", "baseline JSON to compare against; regression fails the run")
@@ -94,25 +100,38 @@ func main() {
 	}
 }
 
-// measure runs one spec `runs` times, keeping the fastest ns/op; the
-// allocation stats come from the same fastest run (they are stable across
-// runs by construction — benchmarks are deterministic).
+// measure runs one spec `runs` times, keeping the fastest ns/op (median
+// for Noisy specs) but the maximum allocs/op. Time wants the noise-floor
+// minimum on deterministic in-process benchmarks and a central estimator
+// on kernel-crossing ones; allocation counts feed a strict ceiling gate,
+// and pooled hot paths amortise their warm-up allocations over b.N, so a
+// long lucky run can round to one alloc fewer than a short one —
+// recording the max keeps the committed baseline a bound every honest
+// rerun stays under.
 func measure(s bench.Spec, runs int) result {
 	if runs < 1 {
 		runs = 1
 	}
-	best := result{Name: s.Name}
+	best := result{Name: s.Name, Noisy: s.Noisy}
+	var samples []float64
 	for i := 0; i < runs; i++ {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			s.Bench(b)
 		})
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		samples = append(samples, ns)
 		if i == 0 || ns < best.NsPerOp {
 			best.NsPerOp = ns
 			best.BytesPerOp = r.AllocedBytesPerOp()
+		}
+		if i == 0 || r.AllocsPerOp() > best.AllocsPerOp {
 			best.AllocsPerOp = r.AllocsPerOp()
 		}
+	}
+	if s.Noisy {
+		sort.Float64s(samples)
+		best.NsPerOp = samples[len(samples)/2]
 	}
 	return best
 }
@@ -151,8 +170,12 @@ func checkBaseline(traj trajectory, path string, tolerance float64) error {
 		if b.NsPerOp > 0 {
 			delta = (r.NsPerOp/b.NsPerOp - 1) * 100
 		}
+		tol := tolerance
+		if r.Noisy || b.Noisy {
+			tol *= 2 // kernel-crossing benchmarks carry scheduler noise
+		}
 		mark := ""
-		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tolerance) {
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tol) {
 			mark = "  << ns/op regression"
 			failures = append(failures, fmt.Sprintf(
 				"%s: %.1f ns/op vs baseline %.1f (%+.0f%%)",

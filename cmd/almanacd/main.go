@@ -163,7 +163,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *metricsAddr != "" {
-		mln, err := startMetrics(*metricsAddr, srv.Metrics)
+		mln, err := startMetrics(*metricsAddr, srv.Metrics, srv.WireSnapshot)
 		if err != nil {
 			log.Fatal(err)
 		}

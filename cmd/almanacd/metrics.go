@@ -15,15 +15,19 @@ import (
 //
 //	/debug/vars    expvar JSON; the "almanac" variable holds the full
 //	               obs.Snapshot (counters plus per-class virtual- and
-//	               wall-time latency histograms)
+//	               wall-time latency histograms), and "almanac_wire" the
+//	               server-wide transport counters (frames/bytes per
+//	               direction, Write calls, coalesced flushes)
 //	/debug/pprof/  standard Go profiling endpoints
 //
-// snapshot must be safe to call concurrently with protocol traffic; the
-// almaproto.Server's Metrics method provides that for both the single
-// device (firmware lock) and the array (lock-free shard snapshots).
-// Returns the bound listener so main can report the address.
-func startMetrics(addr string, snapshot func() obs.Snapshot) (net.Listener, error) {
+// snapshot and wire must be safe to call concurrently with protocol
+// traffic; the almaproto.Server's Metrics and WireSnapshot methods
+// provide that for both the single device (firmware lock) and the array
+// (lock-free shard snapshots). Returns the bound listener so main can
+// report the address.
+func startMetrics(addr string, snapshot func() obs.Snapshot, wire func() obs.WireCounters) (net.Listener, error) {
 	expvar.Publish("almanac", expvar.Func(func() any { return snapshot() }))
+	expvar.Publish("almanac_wire", expvar.Func(func() any { return wire() }))
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -33,7 +33,27 @@ type Client struct {
 	tagged  bool
 	nextID  uint64
 	pend    map[uint64]chan taggedResp
+	pfree   []*rawPending // recycled pendings (with their channels)
 	readErr error
+
+	// Frame pools: request frames cycle submit → writer flush → release;
+	// response frames cycle demux → typed Wait → release.
+	reqPool  framePool
+	respPool framePool
+
+	// Writer-goroutine state: submissions enqueue built frames here and
+	// the writer drains each wakeup's worth into one coalesced Write.
+	// The wake token is only ever sent outside wmu (lockorder-clean).
+	wmu      sync.Mutex
+	wq       []*frameBuf
+	wsignal  bool
+	wclosed  bool
+	wwake    chan struct{} // cap 1
+	wdone    chan struct{} // closed when the writer goroutine exits
+	wbatch   []*frameBuf   // writer-owned drain scratch
+	wscratch []byte        // writer-owned coalescing buffer
+	wbufs    net.Buffers   // writer-owned vectored-write scratch
+	werr     error         // writer-owned; first flush failure
 }
 
 // Dial connects to an almanacd server.
@@ -48,8 +68,16 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an existing connection (tests use net.Pipe).
 func NewClient(conn io.ReadWriteCloser) *Client { return &Client{conn: conn} }
 
-// Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close shuts the connection. On a tagged connection it also stops the
+// writer goroutine and waits for it, so every in-flight Wait observes a
+// typed ErrConnClosed failure (from the demux reader hitting the closed
+// connection) rather than hanging — closing mid-coalesced-flush is safe:
+// the blocked Write fails, the writer fails all pendings, and exits.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.stopWriter()
+	return err
+}
 
 // roundTrip sends one request body and decodes the response status. On a
 // tagged (v4) connection the request is submitted with a fresh ID and the
@@ -64,7 +92,14 @@ func (c *Client) roundTrip(body []byte) (*dec, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.wait()
+		r := p.wait()
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Sync callers may hand decoded slices to the application, so the
+		// response frame is left to the GC instead of being recycled.
+		d := r.d
+		return &d, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -16,26 +16,48 @@ import (
 // Submit*/Wait surface plus the Pipeline helper expose the pipelining to
 // callers. Synchronous methods keep working unchanged: roundTrip submits
 // and waits when the connection is tagged.
+//
+// The data path is pooled and coalesced end to end: request frames are
+// built header-first in pooled buffers, handed to a dedicated writer
+// goroutine that drains every queued frame into a single Write per
+// wakeup, and recycled once flushed; response frames are read into a
+// second pool, decoded in place by the typed Waits, and recycled there.
+// Steady-state submission therefore allocates nothing on the transport.
 
-// taggedResp is one demuxed completion: a positioned decoder on success,
-// the typed failure otherwise.
+// taggedResp is one demuxed completion: a positioned decoder aliasing
+// the pooled response frame on success, the typed failure otherwise.
+// Whoever consumes a successful response releases fb (typed Waits do;
+// the sync roundTrip path deliberately leaves its frame to the GC
+// because decoded slices may escape to the application).
 type taggedResp struct {
-	d   *dec
+	d   dec
+	fb  *frameBuf
 	err error
 }
 
-// rawPending is one in-flight tagged submission.
+// rawPending is one in-flight tagged submission. Pendings (and their
+// completion channels) are recycled through Client.pfree: exactly one
+// taggedResp is ever sent per lease — demux removes the channel from the
+// pending map before sending, and failPending swaps the whole map — so
+// once wait consumes it the pending is clean for reuse.
 type rawPending struct {
+	c  *Client
 	ch chan taggedResp
 }
 
-func (p *rawPending) wait() (*dec, error) {
+// wait blocks for the completion and recycles the pending.
+func (p *rawPending) wait() taggedResp {
 	r := <-p.ch
-	return r.d, r.err
+	c := p.c
+	c.pmu.Lock()
+	c.pfree = append(c.pfree, p)
+	c.pmu.Unlock()
+	return r
 }
 
 // enableTagged flips the connection to the tagged transport (idempotent)
-// and starts the demux reader. Called by Identify once v4 is agreed.
+// and starts the demux reader plus the coalescing writer. Called by
+// Identify once v4 is agreed.
 func (c *Client) enableTagged() {
 	c.pmu.Lock()
 	defer c.pmu.Unlock()
@@ -45,21 +67,29 @@ func (c *Client) enableTagged() {
 	c.tagged = true
 	c.nextID = 1
 	c.pend = make(map[uint64]chan taggedResp)
+	c.wwake = make(chan struct{}, 1)
+	c.wdone = make(chan struct{})
 	go c.demux()
+	go c.writeLoop()
 }
 
 // demux owns the read side of a tagged connection: it routes every
 // completion to its submitter by request ID and, on transport failure,
-// fails every outstanding submission with the same error.
+// fails every outstanding submission with the same error and shuts the
+// writer down.
 func (c *Client) demux() {
 	for {
-		body, err := readFrame(c.conn)
+		fb, err := readFrameInto(c.conn, &c.respPool, nil)
 		if err != nil {
 			c.failPending(fmt.Errorf("%w: %w", ErrConnClosed, err))
+			go c.stopWriter()
 			return
 		}
+		body := fb.b
 		if len(body) < 9 { // u64 reqID + u8 status minimum
+			c.respPool.release(fb)
 			c.failPending(fmt.Errorf("almaproto: tagged completion of %d bytes: %w", len(body), ErrShortPayload))
+			go c.stopWriter()
 			return
 		}
 		reqID := binary.LittleEndian.Uint64(body)
@@ -68,14 +98,17 @@ func (c *Client) demux() {
 		delete(c.pend, reqID)
 		c.pmu.Unlock()
 		if ch == nil {
+			c.respPool.release(fb)
 			continue // completion for an abandoned submission
 		}
-		d := &dec{b: body, pos: 8}
+		d := dec{b: body, pos: 8}
 		if status := d.u8(); status != StatusOK {
-			ch <- taggedResp{err: &RemoteError{Msg: string(d.bytes()), Code: status}}
+			msg := string(d.bytes())
+			c.respPool.release(fb)
+			ch <- taggedResp{err: &RemoteError{Msg: msg, Code: status}}
 			continue
 		}
-		ch <- taggedResp{d: d}
+		ch <- taggedResp{d: d, fb: fb}
 	}
 }
 
@@ -83,44 +116,165 @@ func (c *Client) failPending(err error) {
 	c.pmu.Lock()
 	pend := c.pend
 	c.pend = make(map[uint64]chan taggedResp)
-	c.readErr = err
+	if c.readErr == nil {
+		c.readErr = err
+	}
 	c.pmu.Unlock()
 	for _, ch := range pend {
 		ch <- taggedResp{err: err}
 	}
 }
 
-// submit sends one tagged request and returns the pending completion.
-func (c *Client) submit(body []byte) (*rawPending, error) {
+// newRequest leases a request frame and returns an encoder positioned
+// past the 12-byte header (u32 frame length + u64 request ID, both
+// patched by submitFrame) with the opcode already written. The encoder
+// may grow past the frame's capacity, so callers must hand e.b back via
+// submitFrame rather than touching fb.b directly.
+func (c *Client) newRequest(op Op) (*frameBuf, enc) {
+	fb := c.reqPool.acquire(12)
+	e := enc{b: fb.b[:12]}
+	e.u8(uint8(op))
+	return fb, e
+}
+
+// submitFrame registers a pending completion for the built frame, stamps
+// its header, and hands it to the writer goroutine. The frame is owned
+// by the transport from here on: the writer releases it after the flush.
+func (c *Client) submitFrame(fb *frameBuf, body []byte) (*rawPending, error) {
+	fb.b = body
+	binary.LittleEndian.PutUint32(fb.b, uint32(len(fb.b)-4))
 	c.pmu.Lock()
 	if !c.tagged {
 		c.pmu.Unlock()
+		c.reqPool.release(fb)
 		return nil, fmt.Errorf("almaproto: submit on an untagged connection")
 	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.pmu.Unlock()
+		c.reqPool.release(fb)
 		return nil, err
 	}
 	reqID := c.nextID
 	c.nextID++
-	ch := make(chan taggedResp, 1)
-	c.pend[reqID] = ch
+	var p *rawPending
+	if k := len(c.pfree); k > 0 {
+		p = c.pfree[k-1]
+		c.pfree[k-1] = nil
+		c.pfree = c.pfree[:k-1]
+	} else {
+		p = &rawPending{c: c, ch: make(chan taggedResp, 1)}
+	}
+	c.pend[reqID] = p.ch
 	c.pmu.Unlock()
+	binary.LittleEndian.PutUint64(fb.b[4:], reqID)
 
-	out := make([]byte, 0, 8+len(body))
-	out = binary.LittleEndian.AppendUint64(out, reqID)
-	out = append(out, body...)
-	c.mu.Lock()
-	err := writeFrame(c.conn, out)
-	c.mu.Unlock()
-	if err != nil {
+	if !c.enqueueWrite(fb) {
+		// Connection closed under us. failPending may already have taken
+		// our channel (and will send to it); only recycle the pending if
+		// the registration is still ours to remove.
+		c.reqPool.release(fb)
 		c.pmu.Lock()
-		delete(c.pend, reqID)
+		if _, ok := c.pend[reqID]; ok {
+			delete(c.pend, reqID)
+			c.pfree = append(c.pfree, p)
+		}
+		err := c.readErr
 		c.pmu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
 		return nil, err
 	}
-	return &rawPending{ch: ch}, nil
+	return p, nil
+}
+
+// submit sends one tagged request body (without header) and returns the
+// pending completion. Hot paths build frames in place via newRequest;
+// this copying form serves the synchronous methods.
+func (c *Client) submit(body []byte) (*rawPending, error) {
+	fb := c.reqPool.acquire(12 + len(body))
+	copy(fb.b[12:], body)
+	return c.submitFrame(fb, fb.b)
+}
+
+// enqueueWrite queues a built frame for the writer goroutine, sending
+// the wake token outside wmu on the false→true signal edge. Returns
+// false (without queueing) once the writer has been stopped.
+func (c *Client) enqueueWrite(fb *frameBuf) bool {
+	c.wmu.Lock()
+	if c.wclosed {
+		c.wmu.Unlock()
+		return false
+	}
+	c.wq = append(c.wq, fb)
+	wake := !c.wsignal
+	c.wsignal = true
+	c.wmu.Unlock()
+	if wake {
+		c.wwake <- struct{}{}
+	}
+	return true
+}
+
+// stopWriter asks the writer goroutine to exit once its queue is drained
+// and waits for it. Idempotent; a no-op on untagged connections.
+func (c *Client) stopWriter() {
+	c.pmu.Lock()
+	started := c.tagged
+	c.pmu.Unlock()
+	if !started {
+		return
+	}
+	c.wmu.Lock()
+	c.wclosed = true
+	wake := !c.wsignal
+	c.wsignal = true
+	c.wmu.Unlock()
+	if wake {
+		c.wwake <- struct{}{}
+	}
+	<-c.wdone
+}
+
+// writeLoop is the connection's writer goroutine: it drains every frame
+// queued since the last wakeup and flushes them with a single Write
+// (coalesced) whenever they fit, then recycles the frames. A flush
+// failure fails every in-flight submission with a typed ErrConnClosed
+// and later frames are drained without writing, so submitters never
+// hang on a dead connection.
+func (c *Client) writeLoop() {
+	defer close(c.wdone)
+	for range c.wwake {
+		for {
+			c.wmu.Lock()
+			if len(c.wq) == 0 {
+				c.wsignal = false
+				closed := c.wclosed
+				c.wmu.Unlock()
+				if closed {
+					return
+				}
+				break
+			}
+			c.wbatch = append(c.wbatch[:0], c.wq...)
+			for i := range c.wq {
+				c.wq[i] = nil
+			}
+			c.wq = c.wq[:0]
+			c.wmu.Unlock()
+			if c.werr == nil {
+				if err := flushFrames(c.conn, c.wbatch, &c.wscratch, &c.wbufs, nil); err != nil {
+					c.werr = err
+					c.failPending(fmt.Errorf("%w: %w", ErrConnClosed, err))
+				}
+			}
+			for i, fb := range c.wbatch {
+				c.reqPool.release(fb)
+				c.wbatch[i] = nil
+			}
+		}
+	}
 }
 
 // ensureTagged negotiates if needed and confirms the connection speaks
@@ -157,40 +311,46 @@ func (c *Client) SubmitRead(lpa uint64, at vclock.Time) (*PendingRead, error) {
 	if err := c.ensureTagged(OpRead); err != nil {
 		return nil, err
 	}
-	e := request(OpRead)
+	fb, e := c.newRequest(OpRead)
 	e.u64(lpa)
 	e.time(at)
-	p, err := c.submit(e.b)
+	p, err := c.submitFrame(fb, e.b)
 	if err != nil {
 		return nil, err
 	}
 	return &PendingRead{p: p}, nil
 }
 
-// Wait blocks until the read completes.
+// Wait blocks until the read completes. The returned data is the
+// caller's (copied out of the pooled response frame).
 func (r *PendingRead) Wait() ([]byte, vclock.Time, error) {
-	d, err := r.p.wait()
-	if err != nil {
-		return nil, 0, err
+	c := r.p.c
+	resp := r.p.wait()
+	if resp.err != nil {
+		return nil, 0, resp.err
 	}
+	d := &resp.d
 	done := d.time()
-	data := d.bytes()
-	return data, done, d.err
+	data := append([]byte(nil), d.bytes()...)
+	err := d.err
+	c.respPool.release(resp.fb)
+	return data, done, err
 }
 
 // PendingWrite is an in-flight write submission.
 type PendingWrite struct{ p *rawPending }
 
 // SubmitWrite pipelines a write to lpa; Wait collects the completion.
+// data is copied into the request frame before SubmitWrite returns.
 func (c *Client) SubmitWrite(lpa uint64, data []byte, at vclock.Time) (*PendingWrite, error) {
 	if err := c.ensureTagged(OpWrite); err != nil {
 		return nil, err
 	}
-	e := request(OpWrite)
+	fb, e := c.newRequest(OpWrite)
 	e.u64(lpa)
 	e.time(at)
 	e.bytes(data)
-	p, err := c.submit(e.b)
+	p, err := c.submitFrame(fb, e.b)
 	if err != nil {
 		return nil, err
 	}
@@ -199,12 +359,16 @@ func (c *Client) SubmitWrite(lpa uint64, data []byte, at vclock.Time) (*PendingW
 
 // Wait blocks until the write completes.
 func (w *PendingWrite) Wait() (vclock.Time, error) {
-	d, err := w.p.wait()
-	if err != nil {
-		return 0, err
+	c := w.p.c
+	resp := w.p.wait()
+	if resp.err != nil {
+		return 0, resp.err
 	}
+	d := &resp.d
 	done := d.time()
-	return done, d.err
+	err := d.err
+	c.respPool.release(resp.fb)
+	return done, err
 }
 
 // PendingTrim is an in-flight trim submission.
@@ -215,10 +379,10 @@ func (c *Client) SubmitTrim(lpa uint64, at vclock.Time) (*PendingTrim, error) {
 	if err := c.ensureTagged(OpTrim); err != nil {
 		return nil, err
 	}
-	e := request(OpTrim)
+	fb, e := c.newRequest(OpTrim)
 	e.u64(lpa)
 	e.time(at)
-	p, err := c.submit(e.b)
+	p, err := c.submitFrame(fb, e.b)
 	if err != nil {
 		return nil, err
 	}
@@ -227,12 +391,16 @@ func (c *Client) SubmitTrim(lpa uint64, at vclock.Time) (*PendingTrim, error) {
 
 // Wait blocks until the trim completes.
 func (t *PendingTrim) Wait() (vclock.Time, error) {
-	d, err := t.p.wait()
-	if err != nil {
-		return 0, err
+	c := t.p.c
+	resp := t.p.wait()
+	if resp.err != nil {
+		return 0, resp.err
 	}
+	d := &resp.d
 	done := d.time()
-	return done, d.err
+	err := d.err
+	c.respPool.release(resp.fb)
+	return done, err
 }
 
 // PendingBatch is an in-flight multi-op batch submission.
@@ -248,7 +416,7 @@ func (c *Client) SubmitBatch(volID uint32, ops []service.BatchOp) (*PendingBatch
 	if err := c.ensureTagged(OpBatch); err != nil {
 		return nil, err
 	}
-	e := request(OpBatch)
+	fb, e := c.newRequest(OpBatch)
 	e.u32(volID)
 	e.u32(uint32(len(ops)))
 	kinds := make([]service.OpKind, len(ops))
@@ -261,27 +429,35 @@ func (c *Client) SubmitBatch(volID uint32, ops []service.BatchOp) (*PendingBatch
 			e.bytes(op.Data)
 		}
 	}
-	p, err := c.submit(e.b)
+	p, err := c.submitFrame(fb, e.b)
 	if err != nil {
 		return nil, err
 	}
 	return &PendingBatch{p: p, kinds: kinds}, nil
 }
 
-// Wait blocks until every op of the batch has completed.
+// Wait blocks until every op of the batch has completed. Read data is
+// the caller's (copied out of the pooled response frame).
 func (b *PendingBatch) Wait() ([]service.BatchResult, error) {
-	d, err := b.p.wait()
-	if err != nil {
-		return nil, err
+	c := b.p.c
+	resp := b.p.wait()
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	d := &resp.d
+	release := func() {
+		c.respPool.release(resp.fb)
 	}
 	n := int(d.u32())
 	if n != len(b.kinds) {
+		release()
 		return nil, fmt.Errorf("almaproto: batch returned %d results for %d ops", n, len(b.kinds))
 	}
 	out := make([]service.BatchResult, n)
 	for i := 0; i < n; i++ {
 		status := d.u8()
 		if d.err != nil {
+			release()
 			return nil, d.err
 		}
 		if status != StatusOK {
@@ -290,11 +466,13 @@ func (b *PendingBatch) Wait() ([]service.BatchResult, error) {
 		}
 		out[i].Done = d.time()
 		if b.kinds[i] == service.KindRead {
-			out[i].Data = d.bytes()
+			out[i].Data = append([]byte(nil), d.bytes()...)
 		}
 	}
-	if d.err != nil {
-		return nil, d.err
+	err := d.err
+	release()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -132,6 +132,64 @@ func TestPipelineServerCloseMidFlight(t *testing.T) {
 	}
 }
 
+// TestClientCloseDuringCoalescedFlush closes the client while its writer
+// goroutine is blocked mid-flush (the peer never reads, so the pipe Write
+// parks) with more frames queued behind the stuck one. Close must
+// unblock the flush, every in-flight Wait must surface a typed
+// ErrConnClosed, and Close itself must return instead of waiting on the
+// wedged writer.
+func TestClientCloseDuringCoalescedFlush(t *testing.T) {
+	cliEnd, srvEnd := net.Pipe()
+	defer srvEnd.Close()
+	c := NewClient(cliEnd)
+	// White-box: skip Identify (there is no server) and force the tagged
+	// transport on directly.
+	c.mu.Lock()
+	c.version = CurrentVersion
+	c.mu.Unlock()
+	c.enableTagged()
+
+	h := vclock.Time(vclock.Second)
+	data := make([]byte, 512)
+	var pends []*PendingWrite
+	for lpa := uint64(0); lpa < 8; lpa++ {
+		w, err := c.SubmitWrite(lpa, data, h)
+		if err != nil {
+			t.Fatalf("submit %d: %v", lpa, err)
+		}
+		pends = append(pends, w)
+	}
+	// Let the writer park inside the pipe Write with the rest of the
+	// frames queued for the next coalesced flush.
+	time.Sleep(20 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- c.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on the mid-flush writer")
+	}
+	for i, w := range pends {
+		done := make(chan error, 1)
+		go func() {
+			_, err := w.Wait()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrConnClosed) {
+				t.Fatalf("wait %d after close: %v, want ErrConnClosed", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("wait %d hung after close", i)
+		}
+	}
+	if _, err := c.SubmitWrite(9, data, h); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("submit after close: %v, want ErrConnClosed", err)
+	}
+}
+
 // TestSubmitWaitServerClose pins the bare Submit/Wait surface: a Wait on
 // an in-flight submission reports ErrConnClosed when the peer vanishes.
 func TestSubmitWaitServerClose(t *testing.T) {

@@ -1,0 +1,131 @@
+package almaproto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"almanac/internal/obs"
+)
+
+// TestFramePoolRecycleGeneration pins the use-after-release discipline:
+// a release bumps the generation, so a holder that recorded the lease
+// generation observes staleness on the recycled buffer instead of
+// silently reading someone else's frame.
+func TestFramePoolRecycleGeneration(t *testing.T) {
+	var p framePool
+	fb := p.acquire(16)
+	gen := fb.gen
+	if fb.stale(gen) {
+		t.Fatal("freshly leased buffer reports stale")
+	}
+	p.release(fb)
+	if !fb.stale(gen) {
+		t.Fatal("released buffer does not report stale to its old holder")
+	}
+	fb2 := p.acquire(8)
+	if fb2 != fb {
+		t.Fatal("pool did not recycle the released buffer")
+	}
+	if len(fb2.b) != 8 {
+		t.Fatalf("recycled lease length = %d, want 8", len(fb2.b))
+	}
+	if !fb2.stale(gen) {
+		t.Fatal("re-leased buffer does not report stale to the previous holder")
+	}
+	if fb2.stale(fb2.gen) {
+		t.Fatal("re-leased buffer reports stale to its current holder")
+	}
+	p.release(fb2)
+}
+
+// TestFramePoolDoubleReleasePanics pins the corruption guard: releasing
+// the same buffer twice must panic rather than list it twice (which
+// would lease one backing array to two holders).
+func TestFramePoolDoubleReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	var p framePool
+	fb := p.acquire(4)
+	p.release(fb)
+	p.release(fb)
+}
+
+// countWriter records each Write for flush-policy assertions.
+type countWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestFlushFramesCoalesces pins the flush policy: one frame is written
+// directly, several small frames collapse into a single Write, an
+// over-limit batch takes the vectored path — and in every case the bytes
+// on the wire are the exact concatenation of the queued frames.
+func TestFlushFramesCoalesces(t *testing.T) {
+	var p framePool
+	mk := func(sizes ...int) ([]*frameBuf, []byte) {
+		var frames []*frameBuf
+		var want []byte
+		for i, n := range sizes {
+			fb := p.acquire(n)
+			for j := range fb.b {
+				fb.b[j] = byte(i + j)
+			}
+			frames = append(frames, fb)
+			want = append(want, fb.b...)
+		}
+		return frames, want
+	}
+	var scratch []byte
+	var bufs net.Buffers
+
+	wire := &obs.WireStats{}
+	w := &countWriter{}
+	frames, want := mk(10)
+	if err := flushFrames(w, frames, &scratch, &bufs, wire); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 || !bytes.Equal(w.buf.Bytes(), want) {
+		t.Fatalf("single frame: %d writes, bytes match %v", w.writes, bytes.Equal(w.buf.Bytes(), want))
+	}
+
+	w = &countWriter{}
+	frames, want = mk(10, 20, 30)
+	if err := flushFrames(w, frames, &scratch, &bufs, wire); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("small multi-frame flush took %d writes, want 1 (coalesced)", w.writes)
+	}
+	if !bytes.Equal(w.buf.Bytes(), want) {
+		t.Fatal("coalesced flush bytes differ from frame concatenation")
+	}
+
+	w = &countWriter{}
+	frames, want = mk(coalesceLimit/2, coalesceLimit/2, 64)
+	if err := flushFrames(w, frames, &scratch, &bufs, wire); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.buf.Bytes(), want) {
+		t.Fatal("vectored flush bytes differ from frame concatenation")
+	}
+
+	s := wire.Snapshot()
+	if s.Writes != 3 || s.FramesOut != 7 {
+		t.Fatalf("wire counters: %d flushes / %d frames, want 3 / 7", s.Writes, s.FramesOut)
+	}
+	if s.Coalesced != 2 {
+		t.Fatalf("wire counters: %d coalesced flushes, want 2", s.Coalesced)
+	}
+	if want := int64(10 + 60 + coalesceLimit + 64); s.BytesOut != want {
+		t.Fatalf("wire counters: %d bytes out, want %d", s.BytesOut, want)
+	}
+}

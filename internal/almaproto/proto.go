@@ -347,6 +347,21 @@ func (d *dec) bytes() []byte {
 	return out
 }
 
+// bytesAlias reads a length-prefixed byte field without copying: the
+// result aliases the decoder's backing buffer. Server dispatch uses it
+// for request payloads — the backing frame outlives the dispatch (pooled
+// frames are released only after the command consumed the payload), so
+// the alias is safe and the per-payload copy disappears.
+func (d *dec) bytesAlias() []byte {
+	n := int(d.u32())
+	if d.err != nil || !d.need(n) {
+		return nil
+	}
+	out := d.b[d.pos : d.pos+n : d.pos+n]
+	d.pos += n
+	return out
+}
+
 // Version mirrors core.Version on the wire.
 func encVersions(e *enc, vers []core.Version) {
 	e.u32(uint32(len(vers)))

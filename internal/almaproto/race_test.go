@@ -1,0 +1,8 @@
+//go:build race
+
+package almaproto
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation pins relax under it (race instrumentation allocates on
+// channel and map operations the production build does not).
+const raceEnabled = true

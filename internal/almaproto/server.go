@@ -50,6 +50,12 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 	wg       sync.WaitGroup
+
+	// Transport telemetry: per-connection WireStats folded into a
+	// server-wide total as connections end (see WireSnapshot).
+	wireMu    sync.Mutex
+	wireTotal obs.WireCounters
+	wireLive  map[*obs.WireStats]struct{}
 }
 
 // DefaultWindow is the per-connection in-flight window advertised to v4
@@ -93,6 +99,35 @@ func (s *Server) serverMax() uint32 {
 // synchronisation the wire path uses. The daemon's -metrics-addr HTTP
 // listener reads through here rather than touching the device directly.
 func (s *Server) Metrics() obs.Snapshot { return s.backend.Metrics() }
+
+// WireSnapshot aggregates the transport counters — frames and bytes per
+// direction, Write calls, coalesced flushes — over every tagged
+// connection the server has handled, live connections included.
+func (s *Server) WireSnapshot() obs.WireCounters {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	out := s.wireTotal
+	for ws := range s.wireLive {
+		out.Add(ws.Snapshot())
+	}
+	return out
+}
+
+func (s *Server) trackWire(ws *obs.WireStats) {
+	s.wireMu.Lock()
+	if s.wireLive == nil {
+		s.wireLive = make(map[*obs.WireStats]struct{})
+	}
+	s.wireLive[ws] = struct{}{}
+	s.wireMu.Unlock()
+}
+
+func (s *Server) untrackWire(ws *obs.WireStats) {
+	s.wireMu.Lock()
+	s.wireTotal.Add(ws.Snapshot())
+	delete(s.wireLive, ws)
+	s.wireMu.Unlock()
+}
 
 // Serve accepts connections on ln until Close or Shutdown. It blocks.
 func (s *Server) Serve(ln net.Listener) error {
@@ -214,54 +249,101 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// serveTagged is the v4 transport loop: read tagged frames, dispatch each
-// on its own goroutine, write completions as they finish — out of order.
-// The in-flight window is a semaphore acquired before reading on: when
-// the window is full the loop stops reading, and the transport's flow
-// control backpressures the submitter (a full NVMe submission queue).
+// serveTagged is the v4 transport loop, split into a reader (this
+// goroutine) and a completion-draining writer (connWriter): the reader
+// pulls tagged frames into pooled buffers, OpBatch frames take a fast
+// path that submits every op to the shard queues in one pass, every
+// other opcode dispatches on its own goroutine, and all completions
+// funnel through the writer, which flushes everything ready in as few
+// Writes as possible. The in-flight window is a semaphore acquired
+// before dispatching: when the window is full the loop stops reading,
+// and the transport's flow control backpressures the submitter (a full
+// NVMe submission queue); the writer releases a slot per frame flushed.
 //
 // On read error (peer gone, or the Shutdown drain deadline) the loop
-// waits for every in-flight dispatch and writes its completion before
-// returning, so graceful shutdown drains pipelined requests instead of
-// dropping them — this is what lets almanacd save shard images knowing no
-// command is still mutating the device.
+// waits for every in-flight dispatch, then stops the writer, which
+// drains and flushes every queued completion before exiting — graceful
+// shutdown drains pipelined requests instead of dropping them. This is
+// what lets almanacd save shard images knowing no command is still
+// mutating the device.
 func (s *Server) serveTagged(conn io.ReadWriter, st *connState) {
-	var (
-		wmu sync.Mutex // serialises completion writes
-		wg  sync.WaitGroup
-	)
 	window := s.window
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	wire := &obs.WireStats{}
+	s.trackWire(wire)
+	defer s.untrackWire(wire)
 	slots := make(chan struct{}, window)
+	w := newConnWriter(conn, slots, wire)
+	var (
+		reqPool framePool
+		wg      sync.WaitGroup
+	)
 	for {
-		body, err := readFrame(conn)
+		fb, err := readFrameInto(conn, &reqPool, wire)
 		if err != nil {
 			break
 		}
-		if len(body) < 8 {
+		if len(fb.b) < 8 {
 			// A frame too short to carry a request ID means the peer lost
 			// the framing; there is no ID to complete, so hang up.
+			reqPool.release(fb)
 			break
 		}
-		reqID := binary.LittleEndian.Uint64(body)
-		req := body[8:]
+		reqID := binary.LittleEndian.Uint64(fb.b)
 		slots <- struct{}{}
+		if len(fb.b) > 8 && Op(fb.b[8]) == OpBatch && s.tryBatch(st, reqID, fb, &reqPool, w) {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(fb *frameBuf, reqID uint64) {
 			defer wg.Done()
-			resp := s.dispatch(st, req)
-			out := make([]byte, 0, 8+len(resp))
-			out = binary.LittleEndian.AppendUint64(out, reqID)
-			out = append(out, resp...)
-			wmu.Lock()
-			_ = writeFrame(conn, out)
-			wmu.Unlock()
-			<-slots
-		}()
+			resp := s.dispatch(st, fb.b[8:])
+			out := w.pool.acquire(12 + len(resp))
+			binary.LittleEndian.PutUint32(out.b, uint32(8+len(resp)))
+			binary.LittleEndian.PutUint64(out.b[4:], reqID)
+			copy(out.b[12:], resp)
+			// The request frame is consumed: dispatch is synchronous, so
+			// every payload decoded by aliasing has been copied into the
+			// device (or the response) by now.
+			reqPool.release(fb)
+			w.enqueue(wireItem{fb: out})
+		}(fb, reqID)
 	}
 	wg.Wait()
+	w.stop()
+}
+
+// tryBatch is the batch-aware fast path: decode an OpBatch straight out
+// of the pooled request frame (write payloads alias it — zero copies),
+// submit every op to its shard queue in one pass, and hand the pending
+// run to the writer, which completes and flushes it with the rest of the
+// ready output. Returns false — with no side effects — when the frame
+// needs the generic path (malformed, volume not attached, version gate),
+// so error responses stay byte-identical with dispatch's.
+func (s *Server) tryBatch(st *connState, reqID uint64, fb *frameBuf, pool *framePool, w *connWriter) bool {
+	if s.svc == nil || st.version.Load() < VersionService {
+		return false
+	}
+	req := fb.b[8:]
+	pb := w.getBatch()
+	d := dec{b: req, pos: 1}
+	id, ops, err := decodeBatchOps(&d, pb.ops[:0])
+	pb.ops = ops // keep grown scratch even when falling back
+	if err != nil || d.err != nil || d.pos != len(req) {
+		w.putBatch(pb)
+		return false
+	}
+	vol, err := st.volume(id)
+	if err != nil {
+		w.putBatch(pb)
+		return false
+	}
+	pb.reqID, pb.fb, pb.pool, pb.gen = reqID, fb, pool, fb.gen
+	vol.StartBatch(ops, &pb.run)
+	w.enqueue(wireItem{pb: pb})
+	return true
 }
 
 // dispatch executes one command body and builds the response body.
@@ -331,7 +413,10 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 		e.bytes(data)
 
 	case OpWrite:
-		lpa, at, data := d.u64(), d.time(), d.bytes()
+		// The payload aliases the request frame: both backends consume it
+		// synchronously (the device copies it into the arena), and the
+		// frame is only released after dispatch returns.
+		lpa, at, data := d.u64(), d.time(), d.bytesAlias()
 		if d.err != nil {
 			return fail(d.err)
 		}
@@ -587,40 +672,16 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 		if err := s.requireService(st, op); err != nil {
 			return fail(err)
 		}
-		id, n := d.u32(), int(d.u32())
-		if d.err != nil || n > maxBatchOps {
-			return fail(fmt.Errorf("almaproto: %v: bad op count %d", op, n))
-		}
-		ops := make([]service.BatchOp, 0, min(n, 4096))
-		for i := 0; i < n; i++ {
-			bop := service.BatchOp{Kind: service.OpKind(d.u8()), LPA: d.u64(), At: d.time()}
-			if bop.Kind == service.KindWrite {
-				bop.Data = d.bytes()
-			}
-			if d.err != nil {
-				return fail(d.err)
-			}
-			ops = append(ops, bop)
+		id, ops, berr := decodeBatchOps(d, nil)
+		if berr != nil {
+			return fail(berr)
 		}
 		vol, err := st.volume(id)
 		if err != nil {
 			return fail(err)
 		}
 		results := vol.Batch(ops)
-		e.u32(uint32(len(results)))
-		for i, r := range results {
-			if r.Err != nil {
-				// Typed per-op status: the op failed, the batch did not.
-				e.u8(statusOf(r.Err))
-				e.bytes([]byte(r.Err.Error()))
-				continue
-			}
-			e.u8(StatusOK)
-			e.time(r.Done)
-			if ops[i].Kind == service.KindRead {
-				e.bytes(r.Data)
-			}
-		}
+		encBatchResults(e, ops, results)
 
 	default:
 		return fail(fmt.Errorf("almaproto: unknown opcode %d (connection negotiated protocol v%d)",
@@ -635,6 +696,52 @@ func (s *Server) dispatch(st *connState, body []byte) []byte {
 // maxBatchOps bounds one OpBatch frame; far above any sane batch, low
 // enough that a garbage count cannot balloon the decode allocation.
 const maxBatchOps = 1 << 16
+
+// decodeBatchOps decodes an OpBatch payload (cursor past the opcode)
+// into ops, reusing its capacity — the batch fast path passes the
+// connection's scratch, dispatch passes nil. Write payloads alias the
+// decoder's buffer (see dec.bytesAlias). The returned slice is always
+// the (possibly grown) scratch, even on error.
+func decodeBatchOps(d *dec, ops []service.BatchOp) (uint32, []service.BatchOp, error) {
+	id, n := d.u32(), int(d.u32())
+	if d.err != nil || n > maxBatchOps {
+		return 0, ops, fmt.Errorf("almaproto: %v: bad op count %d", OpBatch, n)
+	}
+	if ops == nil {
+		ops = make([]service.BatchOp, 0, min(n, 4096))
+	}
+	for i := 0; i < n; i++ {
+		bop := service.BatchOp{Kind: service.OpKind(d.u8()), LPA: d.u64(), At: d.time()}
+		if bop.Kind == service.KindWrite {
+			bop.Data = d.bytesAlias()
+		}
+		if d.err != nil {
+			return 0, ops, d.err
+		}
+		ops = append(ops, bop)
+	}
+	return id, ops, nil
+}
+
+// encBatchResults encodes the positional OpBatch response payload. One
+// shared encoder keeps the generic dispatch path and the batch fast path
+// byte-identical on the wire.
+func encBatchResults(e *enc, ops []service.BatchOp, results []service.BatchResult) {
+	e.u32(uint32(len(results)))
+	for i, r := range results {
+		if r.Err != nil {
+			// Typed per-op status: the op failed, the batch did not.
+			e.u8(statusOf(r.Err))
+			e.bytes([]byte(r.Err.Error()))
+			continue
+		}
+		e.u8(StatusOK)
+		e.time(r.Done)
+		if ops[i].Kind == service.KindRead {
+			e.bytes(r.Data)
+		}
+	}
+}
 
 // requireService gates the v4 opcodes on the negotiated version and on
 // the server actually fronting a volume service.

@@ -72,7 +72,13 @@ const (
 
 // Cmd is one queued command. Submit it with Array.Submit and wait for the
 // worker to complete it with Wait; the result fields are valid only after
-// Wait returns. A Cmd must not be reused while in flight.
+// Wait returns. A Cmd must not be reused while in flight, and every
+// submitted Cmd must be Waited exactly once before reuse — completion is
+// a token sent on a one-slot channel (not a close), precisely so a Cmd
+// can be recycled: the channel is allocated on first submission and then
+// reused for the command's whole life (see the service layer's BatchRun,
+// which keeps per-connection Cmd scratch and resets it with SetRead /
+// SetWrite / SetTrim between batches).
 type Cmd struct {
 	Kind opKind
 	LPA  uint64 // global (array) LPA
@@ -86,10 +92,11 @@ type Cmd struct {
 	Err  error
 
 	fn   func(dev *core.TimeSSD, kit *timekits.Kit)
-	done chan struct{}
+	done chan struct{} // cap 1; one completion token per submission
 }
 
-// Wait blocks until the shard worker has executed the command.
+// Wait blocks until the shard worker has executed the command, consuming
+// its completion token.
 func (c *Cmd) Wait() { <-c.done }
 
 // ReadCmd, WriteCmd and TrimCmd build queue commands for batched
@@ -106,6 +113,23 @@ func WriteCmd(lpa uint64, data []byte, at vclock.Time) *Cmd {
 
 // TrimCmd builds a queued trim of global LPA lpa.
 func TrimCmd(lpa uint64, at vclock.Time) *Cmd { return &Cmd{Kind: opTrim, LPA: lpa, At: at} }
+
+// SetRead, SetWrite and SetTrim reset a completed (or fresh) Cmd in
+// place for resubmission, clearing results while keeping the completion
+// channel — the reuse path that lets batch submitters recycle Cmd
+// scratch with zero allocations in steady state.
+func (c *Cmd) SetRead(lpa uint64, at vclock.Time) { c.reset(opRead, lpa, nil, at) }
+
+// SetWrite resets the Cmd to a queued write of data to global LPA lpa.
+func (c *Cmd) SetWrite(lpa uint64, data []byte, at vclock.Time) { c.reset(opWrite, lpa, data, at) }
+
+// SetTrim resets the Cmd to a queued trim of global LPA lpa.
+func (c *Cmd) SetTrim(lpa uint64, at vclock.Time) { c.reset(opTrim, lpa, nil, at) }
+
+func (c *Cmd) reset(kind opKind, lpa uint64, data []byte, at vclock.Time) {
+	c.Kind, c.LPA, c.Data, c.At, c.End = kind, lpa, data, at, 0
+	c.Out, c.Done, c.Err, c.fn = nil, 0, nil, nil
+}
 
 // Snapshot is the lock-free per-shard state view republished by the worker
 // after every batch of commands (see StatsView): the retention-window header plus
@@ -263,8 +287,8 @@ func (s *shard) run() {
 		}
 		s.snap.Store(snapshotOf(s.dev))
 		for i, c := range batch {
-			close(c.done)
-			batch[i] = nil // release completed commands while idle in the outer receive
+			c.done <- struct{}{} // one token per submission; never blocks (cap 1)
+			batch[i] = nil       // release completed commands while idle in the outer receive
 		}
 	}
 }
@@ -354,7 +378,9 @@ func (a *Array) submitTo(sh int, cmd *Cmd) error {
 	if a.closed {
 		return ErrClosed
 	}
-	cmd.done = make(chan struct{})
+	if cmd.done == nil {
+		cmd.done = make(chan struct{}, 1)
+	}
 	// Sending under the read lock is the design: Close takes the write side
 	// only after every in-flight send finished, and workers drain the queue
 	// without ever taking closeMu, so a full queue cannot deadlock Close.

@@ -128,6 +128,10 @@ func ServiceFleet(c Config) (*Table, error) {
 					h := fnv.New64a()
 					fmt.Fprintf(h, "%s/%d/%d", phase, v, cv)
 					bad := 0
+					// One BatchRun per client, reused across its batches —
+					// the same scratch-recycling discipline the protocol
+					// server applies per connection.
+					var run service.BatchRun
 					if write {
 						batch := make([]service.BatchOp, ops)
 						for i := 0; i < ops; i++ {
@@ -141,7 +145,8 @@ func ServiceFleet(c Config) (*Table, error) {
 								Data: data, At: at.Add(vclock.Duration(i) * vclock.Second),
 							}
 						}
-						for i, r := range vol.Batch(batch) {
+						vol.StartBatch(batch, &run)
+						for i, r := range run.Complete() {
 							fmt.Fprintf(h, "|w%d:%t", i, r.Err == nil)
 							if r.Err != nil {
 								bad++
@@ -153,7 +158,8 @@ func ServiceFleet(c Config) (*Table, error) {
 					for i := 0; i < ops; i++ {
 						reads[i] = service.BatchOp{Kind: service.KindRead, LPA: base + uint64(i), At: rat}
 					}
-					for i, r := range vol.Batch(reads) {
+					vol.StartBatch(reads, &run)
+					for i, r := range run.Complete() {
 						ok := r.Err == nil && len(r.Data) == ps && r.Data[0] == dataByte(v, cv, i, gen) && r.Data[ps-1] == r.Data[0]
 						fmt.Fprintf(h, "|r%d:%t", i, ok)
 						if !ok {

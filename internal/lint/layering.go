@@ -99,9 +99,11 @@ func (r *Layering) matrix() []callTarget {
 			// Tenant I/O must enter through a checked volume handle: the
 			// wire protocol, the harness fleet, and the benchmark bodies.
 			// Anything else would bypass extent bounds and window checks.
+			// StartBatch is the split-submission form the server's writer
+			// goroutine completes — same boundary as Batch.
 			PkgPath: mod + "/internal/service",
 			Type:    "Volume",
-			Methods: map[string]bool{"Write": true, "Trim": true, "Batch": true, "RollBack": true},
+			Methods: map[string]bool{"Write": true, "Trim": true, "Batch": true, "StartBatch": true, "RollBack": true},
 			Allowed: map[string]bool{
 				mod + "/internal/almaproto": true,
 				mod + "/internal/harness":   true,

@@ -163,57 +163,99 @@ type BatchResult struct {
 	Err  error
 }
 
-// Batch executes ops with true cross-shard pipelining: every valid op is
-// submitted to its shard queue before any completion is awaited, so ops
-// landing on different shards execute concurrently while per-shard FIFO
-// order preserves the submission order of ops that collide. Results are
-// positional: out[i] completes ops[i].
-func (v *Volume) Batch(ops []BatchOp) []BatchResult {
-	out := make([]BatchResult, len(ops))
-	cmds := make([]*array.Cmd, len(ops))
-	var issue, done vclock.Time
+// BatchRun is the split form of Batch: StartBatch validates and submits
+// every op to its shard queue in one pass, Complete collects the
+// completions. The struct is reusable scratch — the protocol server
+// keeps one per in-flight batch and recycles it, so a steady-state batch
+// allocates nothing: the command slice holds Cmds by value and their
+// completion channels survive reset (see array.Cmd). A BatchRun must not
+// be touched between StartBatch and Complete, and the ops slice (with
+// its write payloads) must stay valid until Complete returns.
+type BatchRun struct {
+	v     *Volume
+	ops   []BatchOp
+	out   []BatchResult
+	cmds  []array.Cmd
+	sub   []bool // cmds[i] was submitted and must be waited
+	issue vclock.Time
+}
+
+// StartBatch begins executing ops with true cross-shard pipelining:
+// every valid op is submitted to its shard queue before any completion
+// is awaited, so ops landing on different shards execute concurrently
+// while per-shard FIFO order preserves the submission order of ops that
+// collide. r.Complete collects the results; they are positional —
+// out[i] completes ops[i].
+func (v *Volume) StartBatch(ops []BatchOp, r *BatchRun) {
+	r.v = v
+	r.ops = ops
+	n := len(ops)
+	if cap(r.out) < n {
+		r.out = make([]BatchResult, n)
+		r.cmds = make([]array.Cmd, n)
+		r.sub = make([]bool, n)
+	}
+	r.out = r.out[:n]
+	r.cmds = r.cmds[:n]
+	r.sub = r.sub[:n]
+	var issue vclock.Time
 	for i, op := range ops {
-		out[i].Done = op.At
+		r.out[i] = BatchResult{Done: op.At}
+		r.sub[i] = false
 		if err := v.gate(op.At); err != nil {
-			out[i].Err = err
+			r.out[i].Err = err
 			continue
 		}
 		if err := v.checkLPA(op.LPA); err != nil {
-			out[i].Err = err
+			r.out[i].Err = err
 			continue
 		}
 		global := v.base + op.LPA
+		cmd := &r.cmds[i]
 		switch op.Kind {
 		case KindRead:
-			cmds[i] = array.ReadCmd(global, op.At)
+			cmd.SetRead(global, op.At)
 		case KindWrite:
-			cmds[i] = array.WriteCmd(global, op.Data, op.At)
+			cmd.SetWrite(global, op.Data, op.At)
 		case KindTrim:
-			cmds[i] = array.TrimCmd(global, op.At)
+			cmd.SetTrim(global, op.At)
 		default:
-			out[i].Err = fmt.Errorf("service: unknown batch op kind %d", op.Kind)
+			r.out[i].Err = fmt.Errorf("service: unknown batch op kind %d", op.Kind)
 			continue
 		}
 		if i == 0 || op.At < issue {
 			issue = op.At
 		}
-		if err := v.svc.arr.Submit(cmds[i]); err != nil {
-			out[i].Err = err
-			cmds[i] = nil
+		if err := v.svc.arr.Submit(cmd); err != nil {
+			r.out[i].Err = err
+			continue
 		}
+		r.sub[i] = true
 	}
+	r.issue = issue
+}
+
+// Complete waits for every submitted op of the batch and returns the
+// positional results. The returned slice is the run's scratch: it is
+// valid until the next StartBatch on the same run, and read Data may
+// alias device storage (copy before the next device operation if
+// retained).
+func (r *BatchRun) Complete() []BatchResult {
+	v := r.v
 	ws := v.reg.Start()
 	ok := true
-	for i, cmd := range cmds {
-		if cmd == nil {
-			if out[i].Err != nil {
+	done := vclock.Time(0)
+	for i := range r.cmds {
+		if !r.sub[i] {
+			if r.out[i].Err != nil {
 				ok = false
 			}
 			continue
 		}
+		cmd := &r.cmds[i]
 		cmd.Wait()
-		out[i] = BatchResult{Data: cmd.Out, Done: cmd.Done, Err: cmd.Err}
-		v.observeOp(ops[i].Kind, ops[i].LPA, ops[i].At, cmd.Done, cmd.Err)
+		r.out[i] = BatchResult{Data: cmd.Out, Done: cmd.Done, Err: cmd.Err}
+		v.observeOp(r.ops[i].Kind, r.ops[i].LPA, r.ops[i].At, cmd.Done, cmd.Err)
 		if cmd.Err != nil {
 			ok = false
 		}
@@ -221,11 +263,21 @@ func (v *Volume) Batch(ops []BatchOp) []BatchResult {
 			done = cmd.Done
 		}
 	}
-	if done < issue {
-		done = issue
+	if done < r.issue {
+		done = r.issue
 	}
-	v.reg.Record(obs.VolBatch, uint64(len(ops)), int64(issue), int64(done), ws, ok)
-	return out
+	v.reg.Record(obs.VolBatch, uint64(len(r.ops)), int64(r.issue), int64(done), ws, ok)
+	return r.out
+}
+
+// Batch executes ops and waits for them: StartBatch plus Complete over a
+// throwaway run. Callers that issue batches repeatedly (the protocol
+// server, fleet harnesses) should hold a BatchRun and use the split form
+// to reuse the command scratch.
+func (v *Volume) Batch(ops []BatchOp) []BatchResult {
+	var r BatchRun
+	v.StartBatch(ops, &r)
+	return r.Complete()
 }
 
 func (v *Volume) observeOp(kind OpKind, lpa uint64, at, done vclock.Time, err error) {
